@@ -1,0 +1,241 @@
+// Package gw2v_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure in the paper's evaluation (§5), plus the
+// ablation benches called out in DESIGN.md §5. Each benchmark runs the
+// corresponding experiment at tiny scale with a reduced epoch budget and
+// reports the experiment's headline quantity as a custom metric; the
+// full-scale numbers recorded in EXPERIMENTS.md come from cmd/gw2v-bench.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package gw2v_test
+
+import (
+	"testing"
+
+	"graphword2vec/internal/harness"
+	"graphword2vec/internal/synth"
+)
+
+// benchOpts returns tiny-scale options with a bench-friendly epoch budget.
+func benchOpts(b *testing.B, epochs, hosts int) harness.Options {
+	b.Helper()
+	opts := harness.Defaults(synth.ScaleTiny)
+	opts.Epochs = epochs
+	opts.Hosts = hosts
+	opts.QuestionsPerCategory = 8
+	return opts.WithDefaults()
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (dataset generation,
+// vocabulary build, corpus indexing for all three datasets).
+func BenchmarkTable1Datasets(b *testing.B) {
+	opts := benchOpts(b, 1, 2)
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2TrainTime regenerates Table 2: W2V and GEM baselines vs
+// GraphWord2Vec, reporting the headline speedup.
+func BenchmarkTable2TrainTime(b *testing.B) {
+	opts := benchOpts(b, 4, 8)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table23(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[0].Speedup
+	}
+	b.ReportMetric(speedup, "speedup-1billion")
+}
+
+// BenchmarkTable3Accuracy regenerates Table 3's accuracy parity check on
+// the 1-billion stand-in, reporting GW2V's total accuracy.
+func BenchmarkTable3Accuracy(b *testing.B) {
+	opts := benchOpts(b, 6, 8)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table23(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = rows[0].GW2VAcc.Total
+	}
+	b.ReportMetric(acc, "gw2v-total-acc-%")
+}
+
+// BenchmarkFig6Convergence regenerates Figure 6 (SM vs MC vs AVG learning
+// curves), reporting the final MC and AVG accuracies.
+func BenchmarkFig6Convergence(b *testing.B) {
+	opts := benchOpts(b, 5, 8)
+	var mc, avg float64
+	for i := 0; i < b.N; i++ {
+		curves, err := harness.Fig6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves {
+			if len(c.TotalAcc) == 0 {
+				continue
+			}
+			last := c.TotalAcc[len(c.TotalAcc)-1]
+			switch {
+			case c.Reduction == "MC":
+				mc = last
+			case c.Reduction == "AVG" && c.LearningRate == opts.BaseAlpha:
+				avg = last
+			}
+		}
+	}
+	b.ReportMetric(mc, "mc-final-acc-%")
+	b.ReportMetric(avg, "avg-final-acc-%")
+}
+
+// BenchmarkFig7SyncFrequency regenerates Figure 7 (accuracy vs
+// synchronisation frequency for MC and AVG).
+func BenchmarkFig7SyncFrequency(b *testing.B) {
+	opts := benchOpts(b, 5, 8)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := harness.Fig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// MC's accuracy gain from the lowest to the highest frequency.
+		var lo, hi float64
+		for _, r := range rows {
+			if r.Combiner != "MC" {
+				continue
+			}
+			if r.SyncFrequency == harness.Fig7Frequencies[0] {
+				lo = r.Acc.Total
+			}
+			if r.SyncFrequency == harness.Fig7Frequencies[len(harness.Fig7Frequencies)-1] {
+				hi = r.Acc.Total
+			}
+		}
+		gain = hi - lo
+	}
+	b.ReportMetric(gain, "mc-gain-12to48-%")
+}
+
+// BenchmarkFig8StrongScaling regenerates Figure 8 (strong scaling of the
+// three communication variants), reporting RepModel-Opt's 32-host speedup
+// over 1 host on the 1-billion stand-in.
+func BenchmarkFig8StrongScaling(b *testing.B) {
+	opts := benchOpts(b, 16, 32)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		points, err := harness.Fig8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var one, thirtytwo float64
+		for _, p := range points {
+			if p.Dataset != "1-billion" || p.Mode.String() != "RepModel-Opt" {
+				continue
+			}
+			if p.Hosts == 1 {
+				one = p.TotalSeconds
+			}
+			if p.Hosts == 32 {
+				thirtytwo = p.TotalSeconds
+			}
+		}
+		if thirtytwo > 0 {
+			speedup = one / thirtytwo
+		}
+	}
+	b.ReportMetric(speedup, "opt-32host-speedup")
+}
+
+// BenchmarkFig9CommBreakdown regenerates Figure 9 (compute/communication
+// split and volume), reporting the Opt:Naive volume ratio at 32 hosts.
+func BenchmarkFig9CommBreakdown(b *testing.B) {
+	opts := benchOpts(b, 16, 32)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		points, err := harness.Fig9(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var naive, opt float64
+		for _, p := range points {
+			if p.Dataset != "1-billion" || p.Hosts != 32 {
+				continue
+			}
+			switch p.Mode.String() {
+			case "RepModel-Naive":
+				naive = p.TotalBytes
+			case "RepModel-Opt":
+				opt = p.TotalBytes
+			}
+		}
+		if naive > 0 {
+			ratio = opt / naive
+		}
+	}
+	b.ReportMetric(ratio, "opt-vs-naive-volume")
+}
+
+// BenchmarkAblationCombiners compares the four reduction operators
+// (DESIGN.md §5 choice 1), reporting the MC-vs-AVG accuracy margin.
+func BenchmarkAblationCombiners(b *testing.B) {
+	opts := benchOpts(b, 5, 8)
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AblationCombiners(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mc, avg float64
+		for _, r := range rows {
+			switch r.Combiner {
+			case "MC":
+				mc = r.Acc.Total
+			case "AVG":
+				avg = r.Acc.Total
+			}
+		}
+		margin = mc - avg
+	}
+	b.ReportMetric(margin, "mc-minus-avg-%")
+}
+
+// BenchmarkAblationSparsity quantifies the bit-vector sparse-sync win
+// (DESIGN.md §5 choice 2) as the Opt:Naive volume ratio.
+func BenchmarkAblationSparsity(b *testing.B) {
+	opts := benchOpts(b, 16, 16)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AblationSparsity(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mode.String() == "RepModel-Opt" {
+				ratio = r.RatioToNaive
+			}
+		}
+	}
+	b.ReportMetric(ratio, "opt-vs-naive-volume")
+}
+
+// BenchmarkAblationIntraHost measures real Hogwild threading inside one
+// host (DESIGN.md §5 choice 4).
+func BenchmarkAblationIntraHost(b *testing.B) {
+	opts := benchOpts(b, 2, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationIntraHost(opts, []int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

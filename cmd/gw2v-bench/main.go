@@ -1,0 +1,95 @@
+// Command gw2v-bench regenerates the paper's tables and figures on the
+// simulated cluster (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	gw2v-bench -experiment all -scale tiny
+//	gw2v-bench -experiment fig6 -scale small -hosts 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"graphword2vec/internal/harness"
+	"graphword2vec/internal/synth"
+)
+
+var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
+	"ablation-combiners", "ablation-sparsity", "ablation-threads"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-bench: ")
+	var (
+		expStr   = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(experiments, ", "))
+		scaleStr = flag.String("scale", "tiny", "dataset scale: tiny, small, or full")
+		hosts    = flag.Int("hosts", 0, "cluster size for Tables 2-3 / Figures 6-7 (0 = 32)")
+		epochs   = flag.Int("epochs", 0, "training epochs (0 = 16)")
+		dim      = flag.Int("dim", 0, "embedding dimensionality (0 = scale default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	scale, err := synth.ParseScale(*scaleStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := harness.Defaults(scale)
+	opts.Hosts = *hosts
+	opts.Epochs = *epochs
+	opts.Dim = *dim
+	opts.Seed = *seed
+	opts.Out = os.Stdout
+	opts = opts.WithDefaults()
+
+	want := map[string]bool{}
+	if *expStr == "all" {
+		for _, e := range experiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expStr, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		if !want[name] {
+			return
+		}
+		delete(want, name)
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	// table2 and table3 share their training runs; run once for either.
+	if want["table2"] || want["table3"] {
+		want["table2-3"] = true
+		delete(want, "table2")
+		delete(want, "table3")
+	}
+
+	run("table1", func() error { _, err := harness.Table1(opts); return err })
+	run("table2-3", func() error { _, err := harness.Table23(opts); return err })
+	run("fig6", func() error { _, err := harness.Fig6(opts); return err })
+	run("fig7", func() error { _, _, err := harness.Fig7(opts); return err })
+	run("fig8", func() error { _, err := harness.Fig8(opts); return err })
+	run("fig9", func() error { _, err := harness.Fig9(opts); return err })
+	run("ablation-combiners", func() error { _, err := harness.AblationCombiners(opts); return err })
+	run("ablation-sparsity", func() error { _, err := harness.AblationSparsity(opts); return err })
+	run("ablation-threads", func() error { _, err := harness.AblationIntraHost(opts, nil); return err })
+
+	for name := range want {
+		log.Fatalf("unknown experiment %q (valid: %s)", name, strings.Join(experiments, ", "))
+	}
+}

@@ -1,0 +1,83 @@
+// Command gw2v-corpus generates a synthetic training corpus and its
+// matching analogy question file (see internal/synth and DESIGN.md §2).
+//
+// Usage:
+//
+//	gw2v-corpus -dataset wiki -scale small -out corpus.txt -questions questions.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"graphword2vec/internal/eval"
+	"graphword2vec/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-corpus: ")
+	var (
+		dataset   = flag.String("dataset", "1-billion", "dataset preset: 1-billion, news, or wiki")
+		scaleStr  = flag.String("scale", "small", "dataset scale: tiny, small, or full")
+		out       = flag.String("out", "corpus.txt", "output corpus path")
+		questions = flag.String("questions", "", "optional analogy question file to write")
+		perCat    = flag.Int("per-category", 12, "analogy questions per category")
+		seed      = flag.Uint64("seed", 0, "override the preset's generation seed (0 = preset default)")
+	)
+	flag.Parse()
+
+	scale, err := synth.ParseScale(*scaleStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := synth.Preset(*dataset, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	data, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.WriteText(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d tokens, %d vocabulary words, %d bytes\n",
+		*out, len(data.Tokens), cfg.VocabWords(), data.TextBytes())
+
+	if *questions != "" {
+		sq, err := synth.Questions(cfg, *perCat, cfg.Seed+77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq := make([]eval.Question, len(sq))
+		for i, q := range sq {
+			eq[i] = eval.Question{A: q.A, B: q.B, C: q.C, D: q.D, Category: q.Category, Semantic: q.Semantic}
+		}
+		qf, err := os.Create(*questions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eval.WriteQuestions(qf, eq); err != nil {
+			qf.Close()
+			log.Fatal(err)
+		}
+		if err := qf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d questions in 14 categories\n", *questions, len(eq))
+	}
+}

@@ -1,0 +1,100 @@
+// Command gw2v-eval evaluates a trained model: analogy accuracy against a
+// question-words.txt-format file (the paper's §5.1 protocol) and/or
+// nearest-neighbour queries.
+//
+// Usage:
+//
+//	gw2v-eval -model model.bin -questions questions.txt
+//	gw2v-eval -model model.bin -neighbors w3_sem1 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"graphword2vec/internal/eval"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vocab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-eval: ")
+	var (
+		modelPath = flag.String("model", "model.bin", "model path (expects <model>.vocab sidecar)")
+		questions = flag.String("questions", "", "analogy question file to evaluate")
+		neighbors = flag.String("neighbors", "", "word to list nearest neighbours for")
+		k         = flag.Int("k", 10, "neighbour count")
+		perCat    = flag.Bool("per-category", false, "print per-category accuracy")
+	)
+	flag.Parse()
+
+	m, err := model.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vf, err := os.Open(*modelPath + ".vocab")
+	if err != nil {
+		log.Fatalf("opening vocabulary sidecar: %v", err)
+	}
+	voc, err := vocab.ReadCounts(vf, vocab.Options{MinCount: 1})
+	vf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if voc.Size() != m.VocabSize() {
+		log.Fatalf("vocabulary has %d words but model has %d rows", voc.Size(), m.VocabSize())
+	}
+
+	did := false
+	if *questions != "" {
+		did = true
+		qf, err := os.Open(*questions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs, err := eval.ParseQuestions(qf)
+		qf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eval.Analogies(m, voc, qs, eval.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("semantic:  %5.1f%% (%d/%d)\n", res.Semantic.Percent(), res.Semantic.Correct, res.Semantic.Total)
+		fmt.Printf("syntactic: %5.1f%% (%d/%d)\n", res.Syntactic.Percent(), res.Syntactic.Correct, res.Syntactic.Total)
+		fmt.Printf("total:     %5.1f%% (%d/%d), %d skipped (OOV)\n", res.Total.Percent(), res.Total.Correct, res.Total.Total, res.Skipped)
+		if *perCat {
+			cats := make([]string, 0, len(res.PerCategory))
+			for c := range res.PerCategory {
+				cats = append(cats, c)
+			}
+			sort.Strings(cats)
+			w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+			for _, c := range cats {
+				acc := res.PerCategory[c]
+				fmt.Fprintf(w, "  %s\t%5.1f%%\t(%d/%d)\n", c, acc.Percent(), acc.Correct, acc.Total)
+			}
+			w.Flush()
+		}
+	}
+	if *neighbors != "" {
+		did = true
+		nn, err := eval.NearestNeighbors(m, voc, *neighbors, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("nearest neighbours of %q:\n", *neighbors)
+		for _, n := range nn {
+			fmt.Printf("  %-20s %.4f\n", n.Word, n.Similarity)
+		}
+	}
+	if !did {
+		log.Fatal("nothing to do: pass -questions and/or -neighbors")
+	}
+}

@@ -1,0 +1,161 @@
+// Command gw2v-train trains a Skip-Gram model on a whitespace-tokenised
+// text corpus, either with the shared-memory Hogwild baseline (-hosts 1
+// -shared) or with GraphWord2Vec on a simulated cluster.
+//
+// Usage:
+//
+//	gw2v-train -corpus corpus.txt -model model.bin -hosts 8 -epochs 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"os"
+
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/corpus"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/sgns"
+	"graphword2vec/internal/vocab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-train: ")
+	var (
+		corpusPath = flag.String("corpus", "", "training corpus path (required)")
+		modelPath  = flag.String("model", "model.bin", "output model path")
+		dim        = flag.Int("dim", 48, "embedding dimensionality")
+		epochs     = flag.Int("epochs", 16, "training epochs")
+		alpha      = flag.Float64("alpha", 0.025, "initial learning rate")
+		window     = flag.Int("window", 5, "context window")
+		negatives  = flag.Int("negatives", 15, "negative samples per pair")
+		minCount   = flag.Int("min-count", 5, "drop words with fewer occurrences")
+		sample     = flag.Float64("sample", 1e-4, "frequent-word subsampling threshold (0 = off)")
+		hosts      = flag.Int("hosts", 1, "simulated hosts (1 = shared-memory training)")
+		threads    = flag.Int("threads", 1, "Hogwild threads (per host)")
+		syncRounds = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
+		combiner   = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
+		modeStr    = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *corpusPath == "" {
+		log.Fatal("-corpus is required")
+	}
+
+	// Pass 1: vocabulary (Algorithm 1 line 3).
+	builder, err := corpus.CountFile(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	voc, err := builder.Build(vocab.Options{MinCount: int64(*minCount), Sample: *sample})
+	if err != nil {
+		log.Fatal(err)
+	}
+	neg, err := vocab.NewUnigramTable(voc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vocabulary: %d words, %d training tokens\n", voc.Size(), voc.TotalWords())
+
+	// Pass 2: load token ids (each simulated host reads its own shard in
+	// the distributed path; here we materialise once and shard in memory).
+	shards, err := corpus.ShardFile(*corpusPath, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corp, err := corpus.LoadFileShard(*corpusPath, shards[0], voc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: 10000}
+	start := time.Now()
+	var trained *model.Model
+	if *hosts <= 1 {
+		m := model.New(voc.Size(), *dim)
+		m.InitRandom(*seed)
+		tr, err := sgns.NewTrainer(m, voc, neg, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := tr.TrainHogwild(corp.Tokens, sgns.HogwildConfig{
+			Threads: *threads,
+			Epochs:  *epochs,
+			Alpha:   float32(*alpha),
+			Seed:    *seed,
+		})
+		fmt.Printf("trained %d pairs in %s\n", st.Pairs, time.Since(start).Round(time.Millisecond))
+		trained = m
+	} else {
+		mode, err := gluon.ParseMode(*modeStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.DefaultConfig(*hosts)
+		cfg.Epochs = *epochs
+		cfg.Alpha = float32(*alpha)
+		cfg.Params = params
+		cfg.CombinerName = *combiner
+		cfg.Mode = mode
+		cfg.Seed = *seed
+		cfg.ThreadsPerHost = *threads
+		if *syncRounds > 0 {
+			cfg.SyncRounds = *syncRounds
+		}
+		cfg.OnEpoch = func(epoch int, _ core.ModelView, er core.EpochResult) {
+			fmt.Printf("epoch %d: alpha %.5f, %d pairs, %s communicated\n",
+				epoch+1, er.Alpha, er.Train.Pairs, byteCount(er.Comm.TotalBytes()))
+		}
+		tr, err := core.NewTrainer(cfg, voc, neg, corp, *dim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained on %d hosts (%s, %s) in %s; total volume %s\n",
+			*hosts, *combiner, mode, time.Since(start).Round(time.Millisecond),
+			byteCount(res.Comm.TotalBytes()))
+		trained = res.Canonical
+	}
+
+	if err := trained.SaveFile(*modelPath); err != nil {
+		log.Fatal(err)
+	}
+	if err := saveVocabSidecar(*modelPath, voc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved model to %s\n", *modelPath)
+}
+
+func byteCount(b int64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB"}
+	f := float64(b)
+	i := 0
+	for f >= 1000 && i < len(units)-1 {
+		f /= 1000
+		i++
+	}
+	return fmt.Sprintf("%.1f%s", f, units[i])
+}
+
+// saveVocabSidecar writes the vocabulary next to the model so gw2v-eval
+// can map rows back to words.
+func saveVocabSidecar(modelPath string, voc *vocab.Vocabulary) error {
+	f, err := os.Create(modelPath + ".vocab")
+	if err != nil {
+		return err
+	}
+	if err := voc.WriteCounts(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,79 @@
+// Distributed: the Figure 6 convergence race in miniature — the same
+// corpus trained three ways on a simulated 8-host cluster, printing the
+// per-epoch analogy accuracy of each reduction strategy side by side:
+//
+//	MC   — the paper's model combiner at the sequential learning rate
+//	AVG  — bulk-synchronous averaging at the same rate (slow)
+//	AVG* — averaging at the 32×-scaled rate (collapses)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/harness"
+	"graphword2vec/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	opts := harness.Defaults(synth.ScaleTiny)
+	opts.Hosts = 8
+	opts.Epochs = 8
+	opts = opts.WithDefaults()
+
+	d, err := harness.LoadDataset("1-billion", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type series struct {
+		label    string
+		combiner string
+		alpha    float32
+		accs     []float64
+	}
+	runs := []*series{
+		{label: "MC", combiner: "MC", alpha: opts.BaseAlpha},
+		{label: "AVG", combiner: "AVG", alpha: opts.BaseAlpha},
+		{label: "AVG*32", combiner: "AVG", alpha: opts.BaseAlpha * 32},
+	}
+	for _, s := range runs {
+		cfg := core.DefaultConfig(opts.Hosts)
+		cfg.Epochs = opts.Epochs
+		cfg.Alpha = s.alpha
+		cfg.CombinerName = s.combiner
+		cfg.Mode = gluon.RepModelOpt
+		cfg.Seed = opts.Seed
+		cfg.OnEpoch = func(_ int, mv core.ModelView, _ core.EpochResult) {
+			acc, err := d.Evaluate(mv.Model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.accs = append(s.accs, acc.Total)
+		}
+		tr, err := core.NewTrainer(cfg, d.Vocab, d.Neg, d.Corp, opts.Dim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tr.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("total analogy accuracy (%%) per epoch, %d hosts:\n", opts.Hosts)
+	fmt.Printf("%-6s", "epoch")
+	for _, s := range runs {
+		fmt.Printf("%9s", s.label)
+	}
+	fmt.Println()
+	for e := 0; e < opts.Epochs; e++ {
+		fmt.Printf("%-6d", e+1)
+		for _, s := range runs {
+			fmt.Printf("%9.1f", s.accs[e])
+		}
+		fmt.Println()
+	}
+}

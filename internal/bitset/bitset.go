@@ -1,0 +1,111 @@
+// Package bitset provides the fixed-size bit vector used to track which
+// graph nodes were touched in a synchronisation round (paper §4.4: "we
+// maintain a bit-vector that tracks the nodes that were updated in this
+// synchronization round"). The RepModel-Opt and PullModel communication
+// schemes are built on it.
+package bitset
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector. The zero value is unusable; create
+// with New. Bitset is not safe for concurrent writers; the distributed
+// trainer gives each worker its own set and ORs them afterwards.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bitset with capacity for n bits, all clear.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Or folds other into b (b |= other). Capacities must match.
+func (b *Bitset) Or(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: Or size mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And intersects other into b (b &= other). Capacities must match.
+func (b *Bitset) And(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: And size mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	c := New(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites b with other. Capacities must match.
+func (b *Bitset) CopyFrom(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: CopyFrom size mismatch")
+	}
+	copy(b.words, other.words)
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi<<6 + bit)
+			w &= w - 1
+		}
+	}
+}
+
+// Words exposes the raw backing words (little-endian bit order) so the
+// communication layer can serialise the set without re-walking bits.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// SetWords overwrites the backing words from a serialised form. The word
+// count must match the capacity.
+func (b *Bitset) SetWords(words []uint64) {
+	if len(words) != len(b.words) {
+		panic("bitset: SetWords length mismatch")
+	}
+	copy(b.words, words)
+}

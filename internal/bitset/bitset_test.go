@@ -1,0 +1,169 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphword2vec/internal/xrand"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCountAndReset(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	if got, want := b.Count(), (200+2)/3; got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Error("Count after Reset != 0")
+	}
+}
+
+func TestOrAnd(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	a.Or(b)
+	for _, i := range []int{1, 50, 99} {
+		if !a.Get(i) {
+			t.Errorf("Or missing bit %d", i)
+		}
+	}
+	c := New(100)
+	c.Set(50)
+	a.And(c)
+	if a.Count() != 1 || !a.Get(50) {
+		t.Errorf("And result wrong: count=%d", a.Count())
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	for name, f := range map[string]func(){
+		"Or":       func() { a.Or(b) },
+		"And":      func() { a.And(b) },
+		"CopyFrom": func() { a.CopyFrom(b) },
+		"SetWords": func() { a.SetWords(make([]uint64, 5)) },
+		"New":      func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	b := New(300)
+	want := []int{0, 5, 63, 64, 150, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(3)
+	c := a.Clone()
+	c.Set(4)
+	if a.Get(4) {
+		t.Error("Clone shares storage")
+	}
+	if !c.Get(3) {
+		t.Error("Clone lost bit")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	a := New(130)
+	a.Set(0)
+	a.Set(129)
+	b := New(130)
+	b.SetWords(a.Words())
+	if !b.Get(0) || !b.Get(129) || b.Count() != 2 {
+		t.Error("Words/SetWords round trip failed")
+	}
+}
+
+func TestBitsetMatchesMapModel(t *testing.T) {
+	// Property: a Bitset behaves like a map[int]bool under a random
+	// operation sequence.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(500)
+		b := New(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 200; op++ {
+			i := r.Intn(n)
+			switch r.Intn(3) {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				delete(ref, i)
+			case 2:
+				if b.Get(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return b.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForEachSparse(b *testing.B) {
+	s := New(1 << 20)
+	r := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		s.Set(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(j int) { sink += j })
+	}
+	_ = sink
+}

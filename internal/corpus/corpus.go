@@ -1,0 +1,257 @@
+// Package corpus handles training-text ingestion for GraphWord2Vec: a
+// streaming whitespace tokenizer, the paper's contiguous byte-range
+// partitioning of the corpus file across hosts (§4.1: "The training corpus
+// file is partitioned (logically) into roughly equal contiguous chunks
+// among hosts. All hosts read their own contiguous chunk in parallel."),
+// and the in-memory token corpus used by the trainers.
+//
+// A Corpus is a flat slice of vocabulary ids; sentence boundaries are cut
+// every MaxSentenceLength tokens exactly as word2vec.c does (the paper uses
+// a "sentence length of 10K", §5.1).
+package corpus
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/xrand"
+)
+
+// DefaultMaxSentenceLength is the paper's sentence-length parameter (10k).
+const DefaultMaxSentenceLength = 10000
+
+// Corpus is an in-memory sequence of vocabulary ids. Out-of-vocabulary
+// tokens are dropped at load time, matching word2vec.c.
+type Corpus struct {
+	Tokens []int32
+}
+
+// Len returns the number of tokens.
+func (c *Corpus) Len() int { return len(c.Tokens) }
+
+// Sentences cuts the corpus into pseudo-sentences of at most maxLen tokens
+// and returns the half-open [start, end) offsets of each.
+func (c *Corpus) Sentences(maxLen int) [][2]int {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxSentenceLength
+	}
+	var out [][2]int
+	for start := 0; start < len(c.Tokens); start += maxLen {
+		end := start + maxLen
+		if end > len(c.Tokens) {
+			end = len(c.Tokens)
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// Shard describes one host's contiguous chunk of a corpus: [Start, End) in
+// token space.
+type Shard struct {
+	Host       int
+	Start, End int
+}
+
+// Len returns the number of tokens in the shard.
+func (s Shard) Len() int { return s.End - s.Start }
+
+// Split partitions the corpus into n roughly equal contiguous shards.
+// Every token belongs to exactly one shard; shards differ in size by at
+// most one token. Split panics if n <= 0.
+func (c *Corpus) Split(n int) []Shard {
+	if n <= 0 {
+		panic("corpus: Split with non-positive host count")
+	}
+	total := len(c.Tokens)
+	shards := make([]Shard, n)
+	for h := 0; h < n; h++ {
+		shards[h] = Shard{
+			Host:  h,
+			Start: total * h / n,
+			End:   total * (h + 1) / n,
+		}
+	}
+	return shards
+}
+
+// Shuffled returns a copy of the shard's token ids in randomised sentence
+// order (epoch shuffling, §2.2 "it is common to randomize the data each
+// epoch"). Shuffling permutes whole sentences, not tokens, so local context
+// is preserved.
+func (c *Corpus) Shuffled(s Shard, maxSentence int, r *xrand.Rand) []int32 {
+	span := c.Tokens[s.Start:s.End]
+	if maxSentence <= 0 {
+		maxSentence = DefaultMaxSentenceLength
+	}
+	nSent := (len(span) + maxSentence - 1) / maxSentence
+	order := r.Perm(nSent)
+	out := make([]int32, 0, len(span))
+	for _, si := range order {
+		lo := si * maxSentence
+		hi := lo + maxSentence
+		if hi > len(span) {
+			hi = len(span)
+		}
+		out = append(out, span[lo:hi]...)
+	}
+	return out
+}
+
+// Tokenizer streams whitespace-separated tokens from an io.Reader without
+// loading the input into memory.
+type Tokenizer struct {
+	sc *bufio.Scanner
+}
+
+// NewTokenizer returns a Tokenizer over rd. Tokens longer than 1 MiB are an
+// error (they indicate binary input, not text).
+func NewTokenizer(rd io.Reader) *Tokenizer {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	sc.Split(bufio.ScanWords)
+	return &Tokenizer{sc: sc}
+}
+
+// Next returns the next token, or io.EOF when the stream is exhausted.
+func (t *Tokenizer) Next() (string, error) {
+	if t.sc.Scan() {
+		return t.sc.Text(), nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// Load reads all tokens from rd and maps them through v, dropping
+// out-of-vocabulary tokens.
+func Load(rd io.Reader, v *vocab.Vocabulary) (*Corpus, error) {
+	tk := NewTokenizer(rd)
+	c := &Corpus{}
+	for {
+		w, err := tk.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		if id := v.ID(w); id >= 0 {
+			c.Tokens = append(c.Tokens, id)
+		}
+	}
+	return c, nil
+}
+
+// FromIDs wraps an id slice as a Corpus (used by the synthetic generator,
+// which produces ids directly). The slice is not copied.
+func FromIDs(ids []int32) *Corpus { return &Corpus{Tokens: ids} }
+
+// FileShard is a byte range [Start, End) of a corpus file assigned to one
+// host, aligned so that no token straddles a shard boundary.
+type FileShard struct {
+	Host       int
+	Start, End int64
+}
+
+// ShardFile computes n byte-range shards of the file at path, adjusting
+// each boundary forward to the next whitespace byte so tokens are never
+// split. This mirrors the paper's host-parallel corpus reading: each host
+// seeks to its own chunk and streams it independently.
+func ShardFile(path string, n int) ([]FileShard, error) {
+	if n <= 0 {
+		return nil, errors.New("corpus: ShardFile with non-positive host count")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	size := info.Size()
+	cuts := make([]int64, n+1)
+	cuts[n] = size
+	buf := make([]byte, 4096)
+	for h := 1; h < n; h++ {
+		pos := size * int64(h) / int64(n)
+		aligned, err := alignForward(f, pos, size, buf)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: aligning shard %d: %w", h, err)
+		}
+		cuts[h] = aligned
+	}
+	// Boundaries must be non-decreasing even on pathological inputs
+	// (e.g. a file with one enormous token).
+	for h := 1; h <= n; h++ {
+		if cuts[h] < cuts[h-1] {
+			cuts[h] = cuts[h-1]
+		}
+	}
+	shards := make([]FileShard, n)
+	for h := 0; h < n; h++ {
+		shards[h] = FileShard{Host: h, Start: cuts[h], End: cuts[h+1]}
+	}
+	return shards, nil
+}
+
+// alignForward returns the first offset >= pos that begins a new token
+// (i.e. the byte after the next whitespace at or after pos), or size.
+func alignForward(f *os.File, pos, size int64, buf []byte) (int64, error) {
+	if pos >= size {
+		return size, nil
+	}
+	if pos == 0 {
+		return 0, nil
+	}
+	for off := pos; off < size; {
+		n, err := f.ReadAt(buf, off)
+		for i := 0; i < n; i++ {
+			if isSpace(buf[i]) {
+				return off + int64(i) + 1, nil
+			}
+		}
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return size, nil
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\n' || b == '\t' || b == '\r' || b == '\v' || b == '\f'
+}
+
+// LoadFileShard streams the byte range of one FileShard through the
+// vocabulary and returns its token ids.
+func LoadFileShard(path string, fs FileShard, v *vocab.Vocabulary) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	sec := io.NewSectionReader(f, fs.Start, fs.End-fs.Start)
+	return Load(sec, v)
+}
+
+// CountFile streams the whole file into a vocabulary Builder. This is the
+// "stream corpus from disk to build vocabulary" step of Algorithm 1 line 3.
+func CountFile(path string) (*vocab.Builder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return vocab.CountFromTokens(bufio.NewReaderSize(f, 1<<20))
+}

@@ -1,0 +1,269 @@
+package corpus
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/xrand"
+)
+
+func testVocab(t *testing.T, text string) *vocab.Vocabulary {
+	t.Helper()
+	b, err := vocab.CountFromTokens(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestTokenizer(t *testing.T) {
+	tk := NewTokenizer(strings.NewReader("  hello\tworld\nfoo  bar "))
+	var got []string
+	for {
+		w, err := tk.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, w)
+	}
+	want := []string{"hello", "world", "foo", "bar"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTokenizerEmpty(t *testing.T) {
+	tk := NewTokenizer(strings.NewReader(""))
+	if _, err := tk.Next(); err != io.EOF {
+		t.Fatalf("empty input: err = %v, want EOF", err)
+	}
+}
+
+func TestLoadDropsOOV(t *testing.T) {
+	v := testVocab(t, "a b c")
+	c, err := Load(strings.NewReader("a z b z z c"), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (OOV dropped)", c.Len())
+	}
+}
+
+func TestSentences(t *testing.T) {
+	c := FromIDs(make([]int32, 25))
+	s := c.Sentences(10)
+	if len(s) != 3 {
+		t.Fatalf("sentences = %d, want 3", len(s))
+	}
+	if s[2][0] != 20 || s[2][1] != 25 {
+		t.Errorf("last sentence = %v, want [20 25]", s[2])
+	}
+	// Default when maxLen <= 0.
+	if got := c.Sentences(0); len(got) != 1 {
+		t.Errorf("default sentence count = %d, want 1", len(got))
+	}
+}
+
+func TestSplitCoversExactly(t *testing.T) {
+	f := func(tokens uint16, hosts uint8) bool {
+		n := int(hosts)%64 + 1
+		c := FromIDs(make([]int32, int(tokens)%5000))
+		shards := c.Split(n)
+		if len(shards) != n {
+			return false
+		}
+		pos := 0
+		for h, s := range shards {
+			if s.Host != h || s.Start != pos || s.End < s.Start {
+				return false
+			}
+			pos = s.End
+		}
+		if pos != c.Len() {
+			return false
+		}
+		// Balance: sizes differ by at most 1.
+		min, max := c.Len(), 0
+		for _, s := range shards {
+			if s.Len() < min {
+				min = s.Len()
+			}
+			if s.Len() > max {
+				max = s.Len()
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPanicsOnZeroHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(0) did not panic")
+		}
+	}()
+	FromIDs([]int32{1}).Split(0)
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	ids := make([]int32, 100)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	c := FromIDs(ids)
+	s := Shard{Host: 0, Start: 10, End: 90}
+	out := c.Shuffled(s, 7, xrand.New(5))
+	if len(out) != 80 {
+		t.Fatalf("Shuffled len = %d, want 80", len(out))
+	}
+	seen := map[int32]bool{}
+	for _, v := range out {
+		if v < 10 || v >= 90 || seen[v] {
+			t.Fatalf("Shuffled produced invalid/duplicate token %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffledKeepsSentencesContiguous(t *testing.T) {
+	ids := make([]int32, 30)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	c := FromIDs(ids)
+	out := c.Shuffled(Shard{Start: 0, End: 30}, 10, xrand.New(3))
+	// Each sentence of 10 consecutive ids must appear as a contiguous run.
+	for i := 0; i < 30; i += 10 {
+		first := out[i]
+		for j := 1; j < 10; j++ {
+			if out[i+j] != first+int32(j) {
+				t.Fatalf("sentence broken at %d: %v", i, out[i:i+10])
+			}
+		}
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestShardFileNoTokenSplit(t *testing.T) {
+	// Build a file of numbered tokens; shard it many ways; verify the
+	// concatenation of per-shard token streams is the original stream.
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("tok")
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteByte(byte('0' + (i/10)%10))
+		sb.WriteString(" ")
+	}
+	content := sb.String()
+	path := writeTemp(t, content)
+	v := testVocab(t, content)
+
+	full, err := Load(strings.NewReader(content), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		shards, err := ShardFile(path, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []int32
+		var prevEnd int64
+		for _, fs := range shards {
+			if fs.Start != prevEnd {
+				t.Fatalf("n=%d: shard %d starts at %d, prev end %d", n, fs.Host, fs.Start, prevEnd)
+			}
+			prevEnd = fs.End
+			c, err := LoadFileShard(path, fs, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, c.Tokens...)
+		}
+		if len(all) != full.Len() {
+			t.Fatalf("n=%d: sharded token count %d != %d", n, len(all), full.Len())
+		}
+		for i := range all {
+			if all[i] != full.Tokens[i] {
+				t.Fatalf("n=%d: token %d differs after sharding", n, i)
+			}
+		}
+	}
+}
+
+func TestShardFileMoreHostsThanBytes(t *testing.T) {
+	path := writeTemp(t, "a b")
+	shards, err := ShardFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 8 {
+		t.Fatalf("shard count = %d", len(shards))
+	}
+	v := testVocab(t, "a b")
+	total := 0
+	for _, fs := range shards {
+		c, err := LoadFileShard(path, fs, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c.Len()
+	}
+	if total != 2 {
+		t.Errorf("total tokens across shards = %d, want 2", total)
+	}
+}
+
+func TestShardFileErrors(t *testing.T) {
+	if _, err := ShardFile("/nonexistent/file", 2); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTemp(t, "a b c")
+	if _, err := ShardFile(path, 0); err == nil {
+		t.Error("zero hosts accepted")
+	}
+}
+
+func TestCountFile(t *testing.T) {
+	path := writeTemp(t, "x y x z x")
+	b, err := CountFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 3 || v.Count(v.ID("x")) != 3 {
+		t.Errorf("CountFile: size=%d x=%d", v.Size(), v.Count(v.ID("x")))
+	}
+}

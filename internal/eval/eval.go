@@ -1,0 +1,222 @@
+// Package eval implements the analogical-reasoning evaluation the paper
+// uses to measure model quality (§5.1): questions "A : B :: C : ?" are
+// answered by the vocabulary word whose embedding is closest (by cosine)
+// to vec(B) − vec(A) + vec(C), with the three query words excluded —
+// the protocol of word2vec's compute-accuracy tool. Accuracy is reported
+// per category and aggregated into semantic, syntactic, and total.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vecmath"
+	"graphword2vec/internal/vocab"
+)
+
+// Question is one analogy item A : B :: C : D (D is the expected answer).
+type Question struct {
+	A, B, C, D string
+	// Category groups questions for per-category reporting.
+	Category string
+	// Semantic selects which aggregate (semantic vs syntactic) the
+	// category contributes to.
+	Semantic bool
+}
+
+// Accuracy is a correct/total counter.
+type Accuracy struct {
+	Correct int
+	Total   int
+}
+
+// Percent returns the accuracy in percent, or 0 when empty.
+func (a Accuracy) Percent() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return 100 * float64(a.Correct) / float64(a.Total)
+}
+
+// add merges another counter.
+func (a *Accuracy) add(b Accuracy) {
+	a.Correct += b.Correct
+	a.Total += b.Total
+}
+
+// Result is the outcome of one analogy evaluation.
+type Result struct {
+	// PerCategory holds accuracy per question category.
+	PerCategory map[string]Accuracy
+	// Semantic, Syntactic and Total aggregate over categories.
+	Semantic  Accuracy
+	Syntactic Accuracy
+	Total     Accuracy
+	// Skipped counts questions with out-of-vocabulary words (excluded
+	// from every accuracy, as in compute-accuracy).
+	Skipped int
+}
+
+// Options configures the evaluation.
+type Options struct {
+	// Workers is the number of evaluation goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Analogies evaluates questions against the model's embedding layer.
+func Analogies(m *model.Model, v *vocab.Vocabulary, questions []Question, opts Options) (*Result, error) {
+	if m.VocabSize() != v.Size() {
+		return nil, errors.New("eval: model/vocabulary size mismatch")
+	}
+	if len(questions) == 0 {
+		return nil, errors.New("eval: no questions")
+	}
+	normed := normalizedEmbeddings(m)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type outcome struct {
+		category string
+		semantic bool
+		correct  bool
+		skipped  bool
+	}
+	outcomes := make([]outcome, len(questions))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			target := make([]float32, m.Dim)
+			for qi := w; qi < len(questions); qi += workers {
+				q := questions[qi]
+				oc := &outcomes[qi]
+				oc.category = q.Category
+				oc.semantic = q.Semantic
+				a, b, c, d := v.ID(q.A), v.ID(q.B), v.ID(q.C), v.ID(q.D)
+				if a < 0 || b < 0 || c < 0 || d < 0 {
+					oc.skipped = true
+					continue
+				}
+				// target = b − a + c over unit vectors (3CosAdd).
+				rowA, rowB, rowC := normed.Row(int(a)), normed.Row(int(b)), normed.Row(int(c))
+				for i := range target {
+					target[i] = rowB[i] - rowA[i] + rowC[i]
+				}
+				best := bestMatch(normed, target, a, b, c)
+				oc.correct = best == d
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{PerCategory: make(map[string]Accuracy)}
+	for _, oc := range outcomes {
+		if oc.skipped {
+			res.Skipped++
+			continue
+		}
+		acc := res.PerCategory[oc.category]
+		acc.Total++
+		if oc.correct {
+			acc.Correct++
+		}
+		res.PerCategory[oc.category] = acc
+		if oc.semantic {
+			res.Semantic.add(Accuracy{Correct: boolToInt(oc.correct), Total: 1})
+		} else {
+			res.Syntactic.add(Accuracy{Correct: boolToInt(oc.correct), Total: 1})
+		}
+		res.Total.add(Accuracy{Correct: boolToInt(oc.correct), Total: 1})
+	}
+	return res, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// normalizedEmbeddings returns a unit-norm copy of the embedding layer.
+func normalizedEmbeddings(m *model.Model) *vecmath.Matrix {
+	normed := m.Emb.Clone()
+	for i := 0; i < normed.Rows; i++ {
+		vecmath.Normalize(normed.Row(i))
+	}
+	return normed
+}
+
+// bestMatch returns the id with the highest dot product against target,
+// excluding the three query ids. Rows of normed are unit vectors, so dot
+// order equals cosine order.
+func bestMatch(normed *vecmath.Matrix, target []float32, exclude1, exclude2, exclude3 int32) int32 {
+	best := int32(-1)
+	bestScore := float32(-1e30)
+	for id := int32(0); id < int32(normed.Rows); id++ {
+		if id == exclude1 || id == exclude2 || id == exclude3 {
+			continue
+		}
+		s := vecmath.Dot(normed.Row(int(id)), target)
+		if s > bestScore {
+			bestScore = s
+			best = id
+		}
+	}
+	return best
+}
+
+// Neighbor is one nearest-neighbour hit.
+type Neighbor struct {
+	Word       string
+	Similarity float32
+}
+
+// NearestNeighbors returns the k vocabulary words most cosine-similar to
+// word's embedding (excluding word itself).
+func NearestNeighbors(m *model.Model, v *vocab.Vocabulary, word string, k int) ([]Neighbor, error) {
+	id := v.ID(word)
+	if id < 0 {
+		return nil, fmt.Errorf("eval: %q not in vocabulary", word)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("eval: k must be positive, got %d", k)
+	}
+	query := append([]float32(nil), m.EmbRow(id)...)
+	vecmath.Normalize(query)
+	type scored struct {
+		id  int32
+		sim float32
+	}
+	all := make([]scored, 0, v.Size()-1)
+	row := make([]float32, m.Dim)
+	for cand := int32(0); cand < int32(v.Size()); cand++ {
+		if cand == id {
+			continue
+		}
+		copy(row, m.EmbRow(cand))
+		vecmath.Normalize(row)
+		all = append(all, scored{id: cand, sim: vecmath.Dot(query, row)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = Neighbor{Word: v.Text(all[i].id), Similarity: all[i].sim}
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vocab"
+)
+
+// plantedModel builds a vocabulary {a0b0, a0b1, a1b0, a1b1, x} with
+// embeddings on a perfect 2D grid so analogies resolve exactly:
+// emb(g,b) = gvec[g] + bvec[b].
+func plantedModel(t *testing.T) (*model.Model, *vocab.Vocabulary) {
+	t.Helper()
+	b := vocab.NewBuilder()
+	words := []string{"a0b0", "a0b1", "a1b0", "a1b1", "x"}
+	// Give descending counts so ids are predictable (a0b0 = 0, ...).
+	for i, w := range words {
+		b.AddN(w, int64(100-i))
+	}
+	v, err := b.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.New(v.Size(), 4)
+	set := func(word string, vec []float32) {
+		copy(m.EmbRow(v.ID(word)), vec)
+	}
+	g := [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}}
+	bb := [][]float32{{0, 0, 1, 0}, {0, 0, 0, 1}}
+	add := func(a, b []float32) []float32 {
+		out := make([]float32, 4)
+		for i := range out {
+			out[i] = a[i] + b[i]
+		}
+		return out
+	}
+	set("a0b0", add(g[0], bb[0]))
+	set("a0b1", add(g[0], bb[1]))
+	set("a1b0", add(g[1], bb[0]))
+	set("a1b1", add(g[1], bb[1]))
+	set("x", []float32{-1, -1, -1, -1})
+	return m, v
+}
+
+func TestAnalogiesPerfectGrid(t *testing.T) {
+	m, v := plantedModel(t)
+	qs := []Question{
+		{A: "a0b0", B: "a0b1", C: "a1b0", D: "a1b1", Category: "grid", Semantic: true},
+		{A: "a1b0", B: "a1b1", C: "a0b0", D: "a0b1", Category: "grid", Semantic: true},
+		{A: "a0b0", B: "a1b0", C: "a0b1", D: "a1b1", Category: "grid2", Semantic: false},
+	}
+	res, err := Analogies(m, v, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Correct != 3 || res.Total.Total != 3 {
+		t.Fatalf("total = %+v, want 3/3", res.Total)
+	}
+	if res.Semantic.Total != 2 || res.Syntactic.Total != 1 {
+		t.Errorf("split: sem %+v syn %+v", res.Semantic, res.Syntactic)
+	}
+	if res.PerCategory["grid"].Correct != 2 {
+		t.Errorf("grid category: %+v", res.PerCategory["grid"])
+	}
+	if got := res.Total.Percent(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Percent = %v", got)
+	}
+}
+
+func TestAnalogiesSkipsOOV(t *testing.T) {
+	m, v := plantedModel(t)
+	qs := []Question{
+		{A: "a0b0", B: "a0b1", C: "a1b0", D: "a1b1", Category: "c", Semantic: true},
+		{A: "missing", B: "a0b1", C: "a1b0", D: "a1b1", Category: "c", Semantic: true},
+		{A: "a0b0", B: "a0b1", C: "a1b0", D: "gone", Category: "c", Semantic: true},
+	}
+	res, err := Analogies(m, v, qs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 2 {
+		t.Errorf("Skipped = %d, want 2", res.Skipped)
+	}
+	if res.Total.Total != 1 {
+		t.Errorf("Total.Total = %d, want 1", res.Total.Total)
+	}
+}
+
+func TestAnalogiesExcludesQueryWords(t *testing.T) {
+	// Construct a degenerate model where B itself would be the nearest
+	// match to b−a+c; the exclusion rule must skip it and pick D.
+	b := vocab.NewBuilder()
+	for i, w := range []string{"a", "b", "c", "d"} {
+		b.AddN(w, int64(10-i))
+	}
+	v, err := b.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.New(4, 2)
+	copy(m.EmbRow(v.ID("a")), []float32{0.1, 0})
+	copy(m.EmbRow(v.ID("b")), []float32{1, 0.05})
+	copy(m.EmbRow(v.ID("c")), []float32{0.1, 0.01})
+	copy(m.EmbRow(v.ID("d")), []float32{0.9, 0.1})
+	res, err := Analogies(m, v, []Question{{A: "a", B: "b", C: "c", D: "d", Category: "x"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Correct != 1 {
+		t.Error("query-word exclusion failed: D not selected")
+	}
+}
+
+func TestAnalogiesErrors(t *testing.T) {
+	m, v := plantedModel(t)
+	if _, err := Analogies(m, v, nil, Options{}); err == nil {
+		t.Error("empty questions accepted")
+	}
+	wrong := model.New(2, 4)
+	if _, err := Analogies(wrong, v, []Question{{A: "a"}}, Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestAccuracyPercentEmpty(t *testing.T) {
+	var a Accuracy
+	if a.Percent() != 0 {
+		t.Error("empty accuracy percent should be 0")
+	}
+	a = Accuracy{Correct: 1, Total: 4}
+	if a.Percent() != 25 {
+		t.Errorf("Percent = %v", a.Percent())
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	m, v := plantedModel(t)
+	nn, err := NearestNeighbors(m, v, "a0b0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 2 {
+		t.Fatalf("got %d neighbours", len(nn))
+	}
+	// a0b1 and a1b0 share one axis with a0b0 (cos = 0.5); x is opposite.
+	if nn[0].Word == "x" || nn[1].Word == "x" {
+		t.Errorf("opposite vector ranked in top 2: %+v", nn)
+	}
+	if nn[0].Similarity < nn[1].Similarity {
+		t.Error("neighbours not sorted by similarity")
+	}
+	// Requesting more neighbours than exist clips.
+	all, err := NearestNeighbors(m, v, "a0b0", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != v.Size()-1 {
+		t.Errorf("clipped neighbours = %d, want %d", len(all), v.Size()-1)
+	}
+}
+
+func TestNearestNeighborsErrors(t *testing.T) {
+	m, v := plantedModel(t)
+	if _, err := NearestNeighbors(m, v, "nope", 3); err == nil {
+		t.Error("OOV query accepted")
+	}
+	if _, err := NearestNeighbors(m, v, "a0b0", 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestAnalogiesWorkerCountsAgree(t *testing.T) {
+	m, v := plantedModel(t)
+	qs := []Question{
+		{A: "a0b0", B: "a0b1", C: "a1b0", D: "a1b1", Category: "c", Semantic: true},
+		{A: "a1b0", B: "a1b1", C: "a0b0", D: "a0b1", Category: "c", Semantic: true},
+		{A: "a0b0", B: "a1b0", C: "a0b1", D: "a1b1", Category: "c2", Semantic: false},
+		{A: "a0b1", B: "a1b1", C: "a0b0", D: "a1b0", Category: "c2", Semantic: false},
+	}
+	var results []*Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Analogies(m, v, qs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Total != results[0].Total {
+			t.Errorf("worker count changed result: %+v vs %+v", results[i].Total, results[0].Total)
+		}
+	}
+}
+
+func BenchmarkAnalogies(b *testing.B) {
+	m := model.New(2000, 64)
+	m.InitRandom(1)
+	vb := vocab.NewBuilder()
+	for i := 0; i < 2000; i++ {
+		vb.AddN(string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+i/676)), int64(2000-i))
+	}
+	v, err := vb.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]Question, 200)
+	for i := range qs {
+		qs[i] = Question{
+			A: v.Text(int32(i)), B: v.Text(int32(i + 1)),
+			C: v.Text(int32(i + 2)), D: v.Text(int32(i + 3)),
+			Category: "bench",
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analogies(m, v, qs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Question files use the word2vec question-words.txt format:
+//
+//	: category-name
+//	A B C D
+//	A B C D
+//	: next-category
+//	...
+//
+// Categories whose name starts with "gram" or "syn" count as syntactic
+// (the convention of the original benchmark, where the nine syntactic
+// categories are gram1-adjective-to-adverb … gram9-plural-verbs);
+// everything else is semantic.
+
+// WriteQuestions serialises questions in question-words.txt format,
+// grouping consecutive questions by category.
+func WriteQuestions(w io.Writer, questions []Question) error {
+	bw := bufio.NewWriter(w)
+	last := ""
+	for _, q := range questions {
+		if q.Category != last {
+			if _, err := fmt.Fprintf(bw, ": %s\n", q.Category); err != nil {
+				return fmt.Errorf("eval: write questions: %w", err)
+			}
+			last = q.Category
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s %s %s\n", q.A, q.B, q.C, q.D); err != nil {
+			return fmt.Errorf("eval: write questions: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseQuestions reads a question-words.txt-format stream.
+func ParseQuestions(r io.Reader) ([]Question, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var out []Question
+	category := "unknown"
+	semantic := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ":") {
+			category = strings.TrimSpace(strings.TrimPrefix(text, ":"))
+			semantic = !isSyntacticCategory(category)
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("eval: line %d: want 4 words, got %d", line, len(fields))
+		}
+		out = append(out, Question{
+			A: fields[0], B: fields[1], C: fields[2], D: fields[3],
+			Category: category, Semantic: semantic,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: parse questions: %w", err)
+	}
+	return out, nil
+}
+
+// isSyntacticCategory applies the question-words.txt naming convention.
+func isSyntacticCategory(category string) bool {
+	return strings.HasPrefix(category, "gram") || strings.HasPrefix(category, "syn")
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuestionsRoundTrip(t *testing.T) {
+	qs := []Question{
+		{A: "athens", B: "greece", C: "berlin", D: "germany", Category: "capital-common", Semantic: true},
+		{A: "oslo", B: "norway", C: "paris", D: "france", Category: "capital-common", Semantic: true},
+		{A: "calm", B: "calmly", C: "quick", D: "quickly", Category: "gram1-adverb", Semantic: false},
+	}
+	var buf bytes.Buffer
+	if err := WriteQuestions(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseQuestions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("parsed %d questions, want %d", len(got), len(qs))
+	}
+	for i := range qs {
+		if got[i] != qs[i] {
+			t.Errorf("question %d: %+v != %+v", i, got[i], qs[i])
+		}
+	}
+}
+
+func TestParseQuestionsFormat(t *testing.T) {
+	in := `
+: capital-common-countries
+Athens Greece Berlin Germany
+
+: gram1-adjective-to-adverb
+calm calmly quick quickly
+: syn-extra
+a b c d
+`
+	qs, err := ParseQuestions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("parsed %d, want 3", len(qs))
+	}
+	if !qs[0].Semantic || qs[0].Category != "capital-common-countries" {
+		t.Errorf("q0: %+v", qs[0])
+	}
+	if qs[1].Semantic {
+		t.Error("gram* category must be syntactic")
+	}
+	if qs[2].Semantic {
+		t.Error("syn* category must be syntactic")
+	}
+}
+
+func TestParseQuestionsErrors(t *testing.T) {
+	if _, err := ParseQuestions(strings.NewReader("a b c")); err == nil {
+		t.Error("3-word line accepted")
+	}
+	if _, err := ParseQuestions(strings.NewReader("a b c d e")); err == nil {
+		t.Error("5-word line accepted")
+	}
+	qs, err := ParseQuestions(strings.NewReader(""))
+	if err != nil || len(qs) != 0 {
+		t.Errorf("empty input: %v, %d questions", err, len(qs))
+	}
+}

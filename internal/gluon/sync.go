@@ -1,0 +1,518 @@
+package gluon
+
+import (
+	"fmt"
+
+	"graphword2vec/internal/bitset"
+	"graphword2vec/internal/combine"
+	"graphword2vec/internal/graph"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vecmath"
+)
+
+// Mode selects the synchronisation scheme (paper §4.4).
+type Mode int
+
+const (
+	// RepModelNaive reduces and broadcasts every node every round.
+	RepModelNaive Mode = iota
+	// RepModelOpt communicates only touched/updated nodes (bit-vector
+	// sparsity). This is the paper's default scheme.
+	RepModelOpt
+	// PullModel adds an inspection phase: hosts announce the node set
+	// they will access next round, and masters are broadcast only to
+	// mirrors that will read them.
+	PullModel
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case RepModelNaive:
+		return "RepModel-Naive"
+	case RepModelOpt:
+		return "RepModel-Opt"
+	case PullModel:
+		return "PullModel"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode converts a paper-style mode name into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "RepModel-Naive", "naive":
+		return RepModelNaive, nil
+	case "RepModel-Opt", "opt":
+		return RepModelOpt, nil
+	case "PullModel", "pull":
+		return PullModel, nil
+	}
+	return 0, fmt.Errorf("gluon: unknown mode %q", s)
+}
+
+// Stats counts the traffic one host generated (sent side only, so summing
+// across hosts counts each byte exactly once).
+type Stats struct {
+	// ReduceBytes / BroadcastBytes are payload bytes sent in each phase
+	// (entry data plus per-message headers).
+	ReduceBytes    int64
+	BroadcastBytes int64
+	// ControlBytes are inspection/access announcements (PullModel only).
+	ControlBytes int64
+	// Messages is the number of transport sends.
+	Messages int64
+	// ReduceEntries / BroadcastEntries count node vectors shipped.
+	ReduceEntries    int64
+	BroadcastEntries int64
+	// Rounds is the number of Sync calls.
+	Rounds int64
+}
+
+// TotalBytes returns all bytes sent by this host.
+func (s Stats) TotalBytes() int64 { return s.ReduceBytes + s.BroadcastBytes + s.ControlBytes }
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReduceBytes += other.ReduceBytes
+	s.BroadcastBytes += other.BroadcastBytes
+	s.ControlBytes += other.ControlBytes
+	s.Messages += other.Messages
+	s.ReduceEntries += other.ReduceEntries
+	s.BroadcastEntries += other.BroadcastEntries
+	s.Rounds += other.Rounds
+}
+
+// HostSync is one host's view of the synchronisation substrate. It owns no
+// model data; the distributed trainer passes its local and base replicas
+// to each Sync call. HostSync is not safe for concurrent use.
+type HostSync struct {
+	host int
+	part *graph.Partition
+	tr   Transport
+	dim  int
+	mode Mode
+	comb combine.Combiner
+
+	// stats accumulates sent-side traffic.
+	stats Stats
+
+	// pending buffers messages that arrived ahead of the phase that
+	// consumes them, keyed by kind and round.
+	pending map[pendingKey][]pendingMsg
+
+	// accessByHost[g], PullModel only: the node set host g announced it
+	// will access in the *next* round, restricted to our master range.
+	// Populated during round r for use in round r+1... cleared on use.
+	accessByHost []*bitset.Bitset
+
+	// slots[localIdx][h] holds host h's decoded delta for owned node
+	// lo+localIdx during the current round's combine.
+	slots      [][]deltaSlot
+	touchedAny *bitset.Bitset
+}
+
+type pendingKey struct {
+	kind  byte
+	round uint32
+}
+
+type pendingMsg struct {
+	from    int
+	payload []byte
+}
+
+type deltaSlot struct {
+	vec []float32 // nil if host contributed nothing
+}
+
+// NewHostSync creates the sync engine for one host. comb is the reduction
+// operator applied at masters (paper §4.3); dim is the model
+// dimensionality (payload vectors have length 2·dim).
+func NewHostSync(host int, part *graph.Partition, tr Transport, dim int, mode Mode, comb combine.Combiner) (*HostSync, error) {
+	if host < 0 || host >= part.NumHosts() {
+		return nil, fmt.Errorf("gluon: host %d out of range [0,%d)", host, part.NumHosts())
+	}
+	if tr.NumHosts() != part.NumHosts() {
+		return nil, fmt.Errorf("gluon: transport has %d hosts, partition %d", tr.NumHosts(), part.NumHosts())
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("gluon: dim must be positive, got %d", dim)
+	}
+	if comb == nil {
+		return nil, fmt.Errorf("gluon: nil combiner")
+	}
+	lo, hi := part.MasterRange(host)
+	hs := &HostSync{
+		host:       host,
+		part:       part,
+		tr:         tr,
+		dim:        dim,
+		mode:       mode,
+		comb:       comb,
+		pending:    make(map[pendingKey][]pendingMsg),
+		slots:      make([][]deltaSlot, hi-lo),
+		touchedAny: bitset.New(part.NumNodes()),
+	}
+	for i := range hs.slots {
+		hs.slots[i] = make([]deltaSlot, part.NumHosts())
+	}
+	if mode == PullModel {
+		hs.accessByHost = make([]*bitset.Bitset, part.NumHosts())
+		for g := range hs.accessByHost {
+			hs.accessByHost[g] = bitset.New(part.NumNodes())
+		}
+	}
+	return hs, nil
+}
+
+// Stats returns the traffic this host has sent so far.
+func (hs *HostSync) Stats() Stats { return hs.stats }
+
+// Mode returns the synchronisation scheme.
+func (hs *HostSync) Mode() Mode { return hs.mode }
+
+// Sync runs one bulk-synchronous synchronisation round (Algorithm 1 line
+// 10). local is this host's working replica, base the replica state as of
+// the previous synchronisation; touched is the set of nodes this host's
+// compute phase wrote. For PullModel, nextAccess must hold the node set
+// the *next* compute round will access (from the inspection phase);
+// other modes ignore it.
+//
+// On return, local == base for every node this host received an update
+// for, and the canonical (master) values incorporate every host's deltas
+// via the reduction operator.
+func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset.Bitset, nextAccess *bitset.Bitset) error {
+	if local.VocabSize() != hs.part.NumNodes() || base.VocabSize() != hs.part.NumNodes() {
+		return fmt.Errorf("gluon: model size %d does not match partition %d", local.VocabSize(), hs.part.NumNodes())
+	}
+	hs.stats.Rounds++
+	h := hs.host
+	nHosts := hs.part.NumHosts()
+
+	// Phase A: announce next round's access sets (PullModel inspection).
+	if hs.mode == PullModel {
+		if nextAccess == nil {
+			return fmt.Errorf("gluon: PullModel requires a nextAccess set")
+		}
+		for g := 0; g < nHosts; g++ {
+			if g == h {
+				continue
+			}
+			lo, hi := hs.part.MasterRange(g)
+			msg := accessMessage(round, lo, hi, nextAccess.Get)
+			if err := hs.send(g, msg); err != nil {
+				return err
+			}
+			hs.stats.ControlBytes += int64(len(msg))
+		}
+	}
+
+	// Phase B: send reduce messages — our deltas for nodes owned by each
+	// other host.
+	for g := 0; g < nHosts; g++ {
+		if g == h {
+			continue
+		}
+		nodes := hs.reduceSet(g, touched)
+		msg := vectorMessage(kindReduce, round, hs.dim, nodes, func(n int32, dst []float32) {
+			nodeDelta(local, base, n, dst)
+		})
+		if err := hs.send(g, msg); err != nil {
+			return err
+		}
+		hs.stats.ReduceBytes += int64(len(msg))
+		hs.stats.ReduceEntries += int64(len(nodes))
+	}
+
+	// Phase C: gather all reduce messages for our own master range,
+	// combine them with our local deltas, and install canonical values.
+	if err := hs.gatherReduces(round, local, base, touched); err != nil {
+		return err
+	}
+	hs.combineOwned(local, base, touched)
+
+	// Phase D: broadcast canonical masters per the mode's rule.
+	for g := 0; g < nHosts; g++ {
+		if g == h {
+			continue
+		}
+		nodes := hs.broadcastSet(g)
+		msg := vectorMessage(kindBroadcast, round, hs.dim, nodes, func(n int32, dst []float32) {
+			nodeValue(local, n, dst)
+		})
+		if err := hs.send(g, msg); err != nil {
+			return err
+		}
+		hs.stats.BroadcastBytes += int64(len(msg))
+		hs.stats.BroadcastEntries += int64(len(nodes))
+	}
+
+	// Phase E: receive and apply all broadcasts for this round.
+	if err := hs.gatherBroadcasts(round, local, base); err != nil {
+		return err
+	}
+
+	hs.resetRound()
+	return nil
+}
+
+// send forwards to the transport and counts the message.
+func (hs *HostSync) send(to int, payload []byte) error {
+	hs.stats.Messages++
+	return hs.tr.Send(hs.host, to, payload)
+}
+
+// reduceSet returns the node ids whose deltas we ship to owner g.
+func (hs *HostSync) reduceSet(g int, touched *bitset.Bitset) []int32 {
+	lo, hi := hs.part.MasterRange(g)
+	var nodes []int32
+	switch hs.mode {
+	case RepModelNaive:
+		// Dense: every proxy in g's range, touched or not.
+		nodes = make([]int32, 0, hi-lo)
+		for n := lo; n < hi; n++ {
+			nodes = append(nodes, int32(n))
+		}
+	default:
+		// Sparse: only proxies we actually updated.
+		for n := lo; n < hi; n++ {
+			if touched.Get(n) {
+				nodes = append(nodes, int32(n))
+			}
+		}
+	}
+	return nodes
+}
+
+// broadcastSet returns the owned node ids whose canonical values we ship
+// to mirror host g. Must be called after combineOwned.
+func (hs *HostSync) broadcastSet(g int) []int32 {
+	lo, hi := hs.part.MasterRange(hs.host)
+	var nodes []int32
+	switch hs.mode {
+	case RepModelNaive:
+		nodes = make([]int32, 0, hi-lo)
+		for n := lo; n < hi; n++ {
+			nodes = append(nodes, int32(n))
+		}
+	case RepModelOpt:
+		// Updated on any host → broadcast to every mirror.
+		for n := lo; n < hi; n++ {
+			if hs.touchedAny.Get(n) {
+				nodes = append(nodes, int32(n))
+			}
+		}
+	case PullModel:
+		// Only what g will read next round — whether or not updated.
+		acc := hs.accessByHost[g]
+		for n := lo; n < hi; n++ {
+			if acc.Get(n) {
+				nodes = append(nodes, int32(n))
+			}
+		}
+	}
+	return nodes
+}
+
+// gatherReduces receives one reduce message from every peer (buffering
+// out-of-phase messages) and records the decoded deltas plus our own.
+func (hs *HostSync) gatherReduces(round uint32, local, base *model.Model, touched *bitset.Bitset) error {
+	lo, hi := hs.part.MasterRange(hs.host)
+
+	// Record our own local deltas first (no wire traffic).
+	for n := lo; n < hi; n++ {
+		include := hs.mode == RepModelNaive || touched.Get(n)
+		if !include {
+			continue
+		}
+		vec := make([]float32, 2*hs.dim)
+		nodeDelta(local, base, int32(n), vec)
+		hs.recordDelta(n, hs.host, vec)
+	}
+
+	need := hs.part.NumHosts() - 1
+	for need > 0 {
+		from, payload, err := hs.nextMessage(kindReduce, round)
+		if err != nil {
+			return err
+		}
+		err = forEachVectorEntry(payload, hs.dim, func(node int32, vec []float32) error {
+			if int(node) < lo || int(node) >= hi {
+				return fmt.Errorf("gluon: host %d sent reduce for node %d outside our range [%d,%d)", from, node, lo, hi)
+			}
+			cp := make([]float32, len(vec))
+			copy(cp, vec)
+			hs.recordDelta(int(node), from, cp)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		need--
+	}
+	return nil
+}
+
+// recordDelta stores one host's delta for an owned node, skipping exact
+// zeros so that dense (Naive) and sparse (Opt/Pull) modes feed the
+// reduction operator identical inputs.
+func (hs *HostSync) recordDelta(node, from int, vec []float32) {
+	if isZeroVec(vec) {
+		return
+	}
+	lo, _ := hs.part.MasterRange(hs.host)
+	hs.slots[node-lo][from] = deltaSlot{vec: vec}
+	hs.touchedAny.Set(node)
+}
+
+// combineOwned folds the gathered deltas with the reduction operator and
+// installs canonical values into both local and base for our range.
+func (hs *HostSync) combineOwned(local, base *model.Model, touched *bitset.Bitset) {
+	lo, hi := hs.part.MasterRange(hs.host)
+	combined := make([]float32, 2*hs.dim)
+	var deltas [][]float32
+	for n := lo; n < hi; n++ {
+		if !hs.touchedAny.Get(n) {
+			continue
+		}
+		deltas = deltas[:0]
+		for _, slot := range hs.slots[n-lo] {
+			if slot.vec != nil {
+				deltas = append(deltas, slot.vec)
+			}
+		}
+		if len(deltas) == 0 {
+			continue
+		}
+		hs.comb.Combine(combined, deltas)
+		// canonical = base + combined, written into local and base.
+		applyCanonical(local, base, int32(n), combined, hs.dim)
+	}
+}
+
+// gatherBroadcasts receives one broadcast from every peer and installs the
+// canonical values into local and base.
+func (hs *HostSync) gatherBroadcasts(round uint32, local, base *model.Model) error {
+	need := hs.part.NumHosts() - 1
+	for need > 0 {
+		from, payload, err := hs.nextMessage(kindBroadcast, round)
+		if err != nil {
+			return err
+		}
+		fromLo, fromHi := hs.part.MasterRange(from)
+		err = forEachVectorEntry(payload, hs.dim, func(node int32, vec []float32) error {
+			if int(node) < fromLo || int(node) >= fromHi {
+				return fmt.Errorf("gluon: host %d broadcast node %d outside its range [%d,%d)", from, node, fromLo, fromHi)
+			}
+			setNodeValue(local, node, vec, hs.dim)
+			setNodeValue(base, node, vec, hs.dim)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		need--
+	}
+	return nil
+}
+
+// nextMessage returns the next message of the wanted kind and round,
+// buffering any other in-flight messages (access announcements for the
+// next round, early reduces from hosts already past us, etc.).
+func (hs *HostSync) nextMessage(kind byte, round uint32) (int, []byte, error) {
+	key := pendingKey{kind: kind, round: round}
+	if q := hs.pending[key]; len(q) > 0 {
+		m := q[0]
+		hs.pending[key] = q[1:]
+		return m.from, m.payload, nil
+	}
+	for {
+		from, payload, err := hs.tr.Recv(hs.host)
+		if err != nil {
+			return 0, nil, err
+		}
+		k, r, _, err := parseHeader(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if k == kindAccess {
+			// Access messages are consumed immediately: they announce
+			// round r+1's reads and update accessByHost.
+			if hs.mode != PullModel {
+				return 0, nil, fmt.Errorf("gluon: unexpected access message from host %d in mode %v", from, hs.mode)
+			}
+			if err := hs.recordAccess(from, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		if k == kind && r == round {
+			return from, payload, nil
+		}
+		pk := pendingKey{kind: k, round: r}
+		hs.pending[pk] = append(hs.pending[pk], pendingMsg{from: from, payload: payload})
+	}
+}
+
+// recordAccess updates host from's announced next-round access set.
+func (hs *HostSync) recordAccess(from int, payload []byte) error {
+	acc := hs.accessByHost[from]
+	acc.Reset()
+	return parseAccessMessage(payload, func(node int) { acc.Set(node) })
+}
+
+// resetRound clears per-round state.
+func (hs *HostSync) resetRound() {
+	lo, hi := hs.part.MasterRange(hs.host)
+	for n := lo; n < hi; n++ {
+		if !hs.touchedAny.Get(n) {
+			continue
+		}
+		row := hs.slots[n-lo]
+		for i := range row {
+			row[i] = deltaSlot{}
+		}
+	}
+	hs.touchedAny.Reset()
+}
+
+// nodeDelta writes (local − base) for node n's concatenated labels.
+func nodeDelta(local, base *model.Model, n int32, dst []float32) {
+	dim := local.Dim
+	vecmath.Sub(dst[:dim], local.EmbRow(n), base.EmbRow(n))
+	vecmath.Sub(dst[dim:], local.CtxRow(n), base.CtxRow(n))
+}
+
+// nodeValue writes node n's concatenated label values.
+func nodeValue(m *model.Model, n int32, dst []float32) {
+	dim := m.Dim
+	copy(dst[:dim], m.EmbRow(n))
+	copy(dst[dim:], m.CtxRow(n))
+}
+
+// setNodeValue installs a concatenated label vector into node n.
+func setNodeValue(m *model.Model, n int32, vec []float32, dim int) {
+	copy(m.EmbRow(n), vec[:dim])
+	copy(m.CtxRow(n), vec[dim:])
+}
+
+// applyCanonical sets node n to base + combined in both replicas.
+func applyCanonical(local, base *model.Model, n int32, combined []float32, dim int) {
+	emb := base.EmbRow(n)
+	ctx := base.CtxRow(n)
+	vecmath.Axpy(1, combined[:dim], emb)
+	vecmath.Axpy(1, combined[dim:], ctx)
+	copy(local.EmbRow(n), emb)
+	copy(local.CtxRow(n), ctx)
+}
+
+func isZeroVec(v []float32) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

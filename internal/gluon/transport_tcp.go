@@ -1,0 +1,188 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport runs the synchronisation protocol over real TCP sockets.
+// It exists to demonstrate that the substrate is not tied to the
+// in-process simulation: the integration tests run a small cluster over
+// loopback with byte-identical results. Each ordered host pair shares one
+// connection (established lexicographically: lower host id dials), which
+// preserves the per-sender FIFO ordering the protocol depends on.
+//
+// Frame format: sender id (uint32 LE), payload length (uint32 LE),
+// payload bytes.
+type TCPTransport struct {
+	host    int
+	n       int
+	conns   []net.Conn // conns[g] is the connection to host g (nil for self)
+	writeMu []sync.Mutex
+	inbox   chan inprocMsg
+	done    chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// maxFrameBytes bounds a single frame to catch corrupted length prefixes.
+const maxFrameBytes = 1 << 30
+
+// NewTCPCluster constructs n TCPTransports wired to each other over
+// loopback listeners. It returns one transport per host. Closing any one
+// of them tears down shared connections; callers should close all.
+func NewTCPCluster(n int) ([]*TCPTransport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gluon: cluster needs at least one host, got %d", n)
+	}
+	trs := make([]*TCPTransport, n)
+	for h := 0; h < n; h++ {
+		trs[h] = &TCPTransport{
+			host:    h,
+			n:       n,
+			conns:   make([]net.Conn, n),
+			writeMu: make([]sync.Mutex, n),
+			inbox:   make(chan inprocMsg, 16*n),
+			done:    make(chan struct{}),
+		}
+	}
+	// Wire each unordered pair with one loopback connection.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				closeAll(trs)
+				return nil, fmt.Errorf("gluon: listen: %w", err)
+			}
+			type accepted struct {
+				conn net.Conn
+				err  error
+			}
+			acceptCh := make(chan accepted, 1)
+			go func() {
+				c, err := ln.Accept()
+				acceptCh <- accepted{conn: c, err: err}
+			}()
+			dialConn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				ln.Close()
+				closeAll(trs)
+				return nil, fmt.Errorf("gluon: dial: %w", err)
+			}
+			acc := <-acceptCh
+			ln.Close()
+			if acc.err != nil {
+				dialConn.Close()
+				closeAll(trs)
+				return nil, fmt.Errorf("gluon: accept: %w", acc.err)
+			}
+			trs[a].conns[b] = dialConn
+			trs[b].conns[a] = acc.conn
+		}
+	}
+	// Start one reader goroutine per connection endpoint.
+	for h := 0; h < n; h++ {
+		for g := 0; g < n; g++ {
+			if g == h || trs[h].conns[g] == nil {
+				continue
+			}
+			trs[h].wg.Add(1)
+			go trs[h].readLoop(trs[h].conns[g])
+		}
+	}
+	return trs, nil
+}
+
+func closeAll(trs []*TCPTransport) {
+	for _, t := range trs {
+		if t != nil {
+			t.Close()
+		}
+	}
+}
+
+// readLoop decodes frames from one connection into the inbox.
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	hdr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // connection closed
+		}
+		from := int(binary.LittleEndian.Uint32(hdr))
+		length := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxFrameBytes {
+			return
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- inprocMsg{from: from, payload: payload}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// NumHosts implements Transport.
+func (t *TCPTransport) NumHosts() int { return t.n }
+
+// Send implements Transport.
+func (t *TCPTransport) Send(from, to int, payload []byte) error {
+	if from != t.host {
+		return fmt.Errorf("gluon: tcp transport for host %d cannot send as %d", t.host, from)
+	}
+	if to < 0 || to >= t.n || to == t.host {
+		return fmt.Errorf("gluon: tcp send to invalid host %d", to)
+	}
+	conn := t.conns[to]
+	if conn == nil {
+		return fmt.Errorf("gluon: no connection to host %d", to)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(from))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	copy(frame[8:], payload)
+	t.writeMu[to].Lock()
+	defer t.writeMu[to].Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("gluon: tcp write to host %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(host int) (int, []byte, error) {
+	if host != t.host {
+		return 0, nil, fmt.Errorf("gluon: tcp transport for host %d cannot recv as %d", t.host, host)
+	}
+	select {
+	case m := <-t.inbox:
+		return m.from, m.payload, nil
+	case <-t.done:
+		select {
+		case m := <-t.inbox:
+			return m.from, m.payload, nil
+		default:
+			return 0, nil, ErrTransportClosed
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.closeMu.Do(func() {
+		close(t.done)
+		for _, c := range t.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,132 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format. Every message starts with a fixed header:
+//
+//	byte 0     kind (reduce / broadcast / access)
+//	bytes 1–4  round number (uint32 LE)
+//	bytes 5–8  entry count (uint32 LE)
+//
+// Reduce and broadcast entries are (nodeID uint32, vec [2·dim]float32):
+// the node's concatenated (embedding ‖ training) label delta or value.
+// Access messages carry a bit-vector restricted to the receiver's master
+// range: (lo uint32, bits uint32, packed bytes).
+const (
+	kindReduce    byte = 1
+	kindBroadcast byte = 2
+	kindAccess    byte = 3
+
+	headerBytes = 9
+)
+
+// entryBytes returns the encoded size of one reduce/broadcast entry.
+func entryBytes(dim int) int { return 4 + 8*dim }
+
+// putHeader writes the message header into buf[:headerBytes].
+func putHeader(buf []byte, kind byte, round, count uint32) {
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], round)
+	binary.LittleEndian.PutUint32(buf[5:], count)
+}
+
+// parseHeader decodes a message header.
+func parseHeader(buf []byte) (kind byte, round, count uint32, err error) {
+	if len(buf) < headerBytes {
+		return 0, 0, 0, fmt.Errorf("gluon: short message (%d bytes)", len(buf))
+	}
+	return buf[0], binary.LittleEndian.Uint32(buf[1:]), binary.LittleEndian.Uint32(buf[5:]), nil
+}
+
+// vectorMessage builds a reduce or broadcast message for the given node
+// ids. vecAt must return the 2·dim-float payload for a node.
+func vectorMessage(kind byte, round uint32, dim int, nodes []int32, vecAt func(node int32, dst []float32)) []byte {
+	eb := entryBytes(dim)
+	buf := make([]byte, headerBytes+len(nodes)*eb)
+	putHeader(buf, kind, round, uint32(len(nodes)))
+	tmp := make([]float32, 2*dim)
+	off := headerBytes
+	for _, n := range nodes {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(n))
+		vecAt(n, tmp)
+		vo := off + 4
+		for _, v := range tmp {
+			binary.LittleEndian.PutUint32(buf[vo:], math.Float32bits(v))
+			vo += 4
+		}
+		off += eb
+	}
+	return buf
+}
+
+// forEachVectorEntry decodes a reduce/broadcast payload, invoking fn with
+// each node id and its decoded 2·dim vector. The vector slice is reused
+// across calls; fn must copy if it retains it.
+func forEachVectorEntry(payload []byte, dim int, fn func(node int32, vec []float32) error) error {
+	_, _, count, err := parseHeader(payload)
+	if err != nil {
+		return err
+	}
+	eb := entryBytes(dim)
+	want := headerBytes + int(count)*eb
+	if len(payload) != want {
+		return fmt.Errorf("gluon: message length %d, want %d for %d entries", len(payload), want, count)
+	}
+	vec := make([]float32, 2*dim)
+	off := headerBytes
+	for i := uint32(0); i < count; i++ {
+		node := int32(binary.LittleEndian.Uint32(payload[off:]))
+		vo := off + 4
+		for j := range vec {
+			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[vo:]))
+			vo += 4
+		}
+		if err := fn(node, vec); err != nil {
+			return err
+		}
+		off += eb
+	}
+	return nil
+}
+
+// accessMessage packs the bits [lo, hi) of isSet into an access
+// announcement for the owner of that range.
+func accessMessage(round uint32, lo, hi int, isSet func(i int) bool) []byte {
+	bits := hi - lo
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, headerBytes+8+nbytes)
+	putHeader(buf, kindAccess, round, uint32(1))
+	binary.LittleEndian.PutUint32(buf[headerBytes:], uint32(lo))
+	binary.LittleEndian.PutUint32(buf[headerBytes+4:], uint32(bits))
+	packed := buf[headerBytes+8:]
+	for i := 0; i < bits; i++ {
+		if isSet(lo + i) {
+			packed[i>>3] |= 1 << (uint(i) & 7)
+		}
+	}
+	return buf
+}
+
+// parseAccessMessage decodes an access announcement, invoking fn for each
+// set node id.
+func parseAccessMessage(payload []byte, fn func(node int)) error {
+	if len(payload) < headerBytes+8 {
+		return fmt.Errorf("gluon: short access message (%d bytes)", len(payload))
+	}
+	lo := int(binary.LittleEndian.Uint32(payload[headerBytes:]))
+	bits := int(binary.LittleEndian.Uint32(payload[headerBytes+4:]))
+	packed := payload[headerBytes+8:]
+	if len(packed) != (bits+7)/8 {
+		return fmt.Errorf("gluon: access bitmap length %d, want %d", len(packed), (bits+7)/8)
+	}
+	for i := 0; i < bits; i++ {
+		if packed[i>>3]&(1<<(uint(i)&7)) != 0 {
+			fn(lo + i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package gluon
+
+import (
+	"testing"
+)
+
+func TestVectorMessageRoundTrip(t *testing.T) {
+	dim := 3
+	nodes := []int32{5, 9, 2}
+	vals := map[int32][]float32{
+		5: {1, 2, 3, 4, 5, 6},
+		9: {-1, 0, 1, 0.5, -0.5, 7},
+		2: {0, 0, 0, 0, 0, 0},
+	}
+	msg := vectorMessage(kindReduce, 42, dim, nodes, func(n int32, dst []float32) {
+		copy(dst, vals[n])
+	})
+	kind, round, count, err := parseHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != kindReduce || round != 42 || count != 3 {
+		t.Fatalf("header = (%d, %d, %d)", kind, round, count)
+	}
+	var gotNodes []int32
+	err = forEachVectorEntry(msg, dim, func(n int32, vec []float32) error {
+		gotNodes = append(gotNodes, n)
+		want := vals[n]
+		for i := range vec {
+			if vec[i] != want[i] {
+				t.Fatalf("node %d vec = %v, want %v", n, vec, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNodes) != 3 || gotNodes[0] != 5 || gotNodes[1] != 9 || gotNodes[2] != 2 {
+		t.Fatalf("nodes = %v", gotNodes)
+	}
+}
+
+func TestVectorMessageEmpty(t *testing.T) {
+	msg := vectorMessage(kindBroadcast, 7, 4, nil, nil)
+	if len(msg) != headerBytes {
+		t.Fatalf("empty message length = %d", len(msg))
+	}
+	n := 0
+	if err := forEachVectorEntry(msg, 4, func(int32, []float32) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("entries decoded from empty message")
+	}
+}
+
+func TestForEachVectorEntryRejectsCorrupt(t *testing.T) {
+	if err := forEachVectorEntry([]byte{1, 2}, 4, nil); err == nil {
+		t.Error("short message accepted")
+	}
+	// Valid header claiming 2 entries but truncated body.
+	msg := make([]byte, headerBytes+5)
+	putHeader(msg, kindReduce, 1, 2)
+	if err := forEachVectorEntry(msg, 4, nil); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestAccessMessageRoundTrip(t *testing.T) {
+	set := map[int]bool{10: true, 13: true, 24: true}
+	msg := accessMessage(3, 10, 25, func(i int) bool { return set[i] })
+	kind, round, _, err := parseHeader(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != kindAccess || round != 3 {
+		t.Fatalf("header = (%d, %d)", kind, round)
+	}
+	var got []int
+	if err := parseAccessMessage(msg, func(n int) { got = append(got, n) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 13 || got[2] != 24 {
+		t.Fatalf("access nodes = %v", got)
+	}
+}
+
+func TestAccessMessageEmptyRange(t *testing.T) {
+	msg := accessMessage(0, 5, 5, func(int) bool { return true })
+	n := 0
+	if err := parseAccessMessage(msg, func(int) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("entries from empty range")
+	}
+}
+
+func TestParseAccessMessageRejectsCorrupt(t *testing.T) {
+	if err := parseAccessMessage([]byte{1}, nil); err == nil {
+		t.Error("short access message accepted")
+	}
+	msg := accessMessage(0, 0, 64, func(int) bool { return true })
+	if err := parseAccessMessage(msg[:len(msg)-2], nil); err == nil {
+		t.Error("truncated access bitmap accepted")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{BandwidthBytesPerSec: 1000, LatencySec: 0.01}
+	if got := cm.CommSeconds(2000, 5); got != 2.05 {
+		t.Errorf("CommSeconds = %v, want 2.05", got)
+	}
+	if cm.CommDuration(1000, 0).Seconds() != 1 {
+		t.Error("CommDuration wrong")
+	}
+	zero := CostModel{}
+	if zero.CommSeconds(1e9, 1e6) != 0 {
+		t.Error("zero-bandwidth model should return 0")
+	}
+	def := DefaultCostModel()
+	if def.BandwidthBytesPerSec != 7e9 {
+		t.Errorf("default bandwidth = %v, want 7e9 (56 Gb/s)", def.BandwidthBytesPerSec)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if RepModelNaive.String() != "RepModel-Naive" ||
+		RepModelOpt.String() != "RepModel-Opt" ||
+		PullModel.String() != "PullModel" {
+		t.Error("mode names wrong")
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode has empty string")
+	}
+	for _, s := range []string{"RepModel-Naive", "RepModel-Opt", "PullModel", "naive", "opt", "pull"} {
+		if _, err := ParseMode(s); err != nil {
+			t.Errorf("ParseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+
+	"graphword2vec/internal/gluon"
+)
+
+// TestPaperCoreClaim verifies the paper's central result end-to-end on
+// the simulated cluster (Figure 6's qualitative content):
+//
+//  1. MC at the sequential learning rate reaches accuracy comparable to
+//     the shared-memory baseline,
+//  2. AVG at the same rate converges more slowly (lower accuracy at the
+//     same epoch budget), and
+//  3. AVG at the host-count-scaled learning rate collapses.
+func TestPaperCoreClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	opts := tinyOpts()
+	opts.Epochs = 6
+	hosts := opts.Hosts
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sm, err := runW2V(d, opts, opts.BaseAlpha, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runDist := func(comb string, alpha float32) Accuracies {
+		cfg := distConfig(opts, hosts, syncRoundsFor(opts), comb, gluon.RepModelOpt, alpha)
+		_, acc, err := runDistributed(d, opts, cfg, nil)
+		if err != nil {
+			t.Fatalf("%s@%g: %v", comb, alpha, err)
+		}
+		return acc
+	}
+
+	mc := runDist("MC", opts.BaseAlpha)
+	avg := runDist("AVG", opts.BaseAlpha)
+	// The paper's divergent setting is the rate scaled by 32 (its
+	// largest sweep multiple), at which per-host local training blows up.
+	avgBig := runDist("AVG", opts.BaseAlpha*32)
+
+	t.Logf("SM %.1f | MC %.1f | AVG %.1f | AVG@32x %.1f",
+		sm.Acc.Total, mc.Total, avg.Total, avgBig.Total)
+
+	// (1) MC in the same convergence regime as SM. At tiny scale MC
+	// lags SM by some points at a fixed epoch budget (early-epoch
+	// parallel-gradient attenuation, §3 scenario (a)) — the band here
+	// asserts "comparable", with the exact gap recorded in
+	// EXPERIMENTS.md.
+	if mc.Total < sm.Acc.Total-25 {
+		t.Errorf("MC total %.1f%% far below SM %.1f%%", mc.Total, sm.Acc.Total)
+	}
+	// (2) AVG far slower than MC at the same rate.
+	if avg.Total >= mc.Total-5 {
+		t.Errorf("AVG %.1f%% should trail MC %.1f%% at the sequential rate", avg.Total, mc.Total)
+	}
+	// (3) scaled-rate AVG collapses (well below MC and below AVG@base's
+	// eventual level).
+	if avgBig.Total >= mc.Total-10 {
+		t.Errorf("AVG at 32× rate reached %.1f%%, expected collapse vs MC %.1f%%", avgBig.Total, mc.Total)
+	}
+}

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphword2vec/internal/gluon"
+)
+
+// microOpts are the fastest possible experiment settings, used to
+// exercise every experiment's full code path in seconds.
+func microOpts(buf *bytes.Buffer) Options {
+	o := tinyOpts()
+	o.Epochs = 2
+	o.Hosts = 2
+	o.QuestionsPerCategory = 4
+	o.Out = buf
+	return o.WithDefaults()
+}
+
+func TestTable23EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	var buf bytes.Buffer
+	rows, err := Table23(microOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.W2VSeconds <= 0 || r.GW2VSeconds <= 0 {
+			t.Errorf("%s: non-positive times %+v", r.Dataset, r)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %v", r.Dataset, r.Speedup)
+		}
+	}
+	// Paper: Gensim OOMs exactly on wiki.
+	if rows[0].GEMOOM || rows[1].GEMOOM || !rows[2].GEMOOM {
+		t.Errorf("OOM pattern: %v %v %v", rows[0].GEMOOM, rows[1].GEMOOM, rows[2].GEMOOM)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Table 3", "OOM", "Speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig6EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	var buf bytes.Buffer
+	curves, err := Fig6(microOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SM + MC + one AVG per multiplier.
+	if want := 2 + len(Fig6Multipliers); len(curves) != want {
+		t.Fatalf("curves = %d, want %d", len(curves), want)
+	}
+	for _, c := range curves {
+		if len(c.TotalAcc) != 2 {
+			t.Errorf("%s: %d epochs of accuracy, want 2", c.Label, len(c.TotalAcc))
+		}
+	}
+	if curves[0].Reduction != "SM" || curves[1].Reduction != "MC" {
+		t.Errorf("curve order: %s, %s", curves[0].Label, curves[1].Label)
+	}
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("missing rendered header")
+	}
+}
+
+func TestFig7EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	var buf bytes.Buffer
+	rows, baseline, err := Fig7(microOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Fig7Frequencies) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if baseline.Total < 0 || baseline.Total > 100 {
+		t.Errorf("baseline = %+v", baseline)
+	}
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Combiner]++
+	}
+	if seen["MC"] != len(Fig7Frequencies) || seen["AVG"] != len(Fig7Frequencies) {
+		t.Errorf("combiner coverage: %v", seen)
+	}
+}
+
+func TestScalingSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	var buf bytes.Buffer
+	opts := microOpts(&buf)
+	points, err := scalingSweep(opts, []int{1, 2}, "test sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 3 modes × 2 host counts.
+	if len(points) != 18 {
+		t.Fatalf("points = %d, want 18", len(points))
+	}
+	for _, p := range points {
+		if p.TotalSeconds <= 0 {
+			t.Errorf("%s/%v/%d: total %v", p.Dataset, p.Mode, p.Hosts, p.TotalSeconds)
+		}
+		if p.Hosts == 1 && p.TotalBytes != 0 {
+			t.Errorf("1-host run communicated %v bytes", p.TotalBytes)
+		}
+		if p.Hosts == 2 && p.TotalBytes <= 0 {
+			t.Errorf("2-host run communicated nothing")
+		}
+	}
+	// Sparse ≤ dense volume at 2 hosts for each dataset.
+	vol := map[[2]string]float64{}
+	for _, p := range points {
+		if p.Hosts == 2 {
+			vol[[2]string{p.Dataset, p.Mode.String()}] = p.TotalBytes
+		}
+	}
+	for _, ds := range []string{"1-billion", "news", "wiki"} {
+		if vol[[2]string{ds, "RepModel-Opt"}] > vol[[2]string{ds, "RepModel-Naive"}] {
+			t.Errorf("%s: opt volume exceeds naive", ds)
+		}
+	}
+	if p := points[0]; p.Speedup(10) <= 0 {
+		t.Error("Speedup helper returned non-positive")
+	}
+}
+
+func TestAblationsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	var buf bytes.Buffer
+	opts := microOpts(&buf)
+
+	combiners, err := AblationCombiners(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combiners) != 4 {
+		t.Fatalf("combiner rows = %d", len(combiners))
+	}
+
+	sparsity, err := AblationSparsity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sparsity {
+		if r.Mode == gluon.RepModelNaive && r.RatioToNaive != 1 {
+			t.Errorf("naive ratio = %v", r.RatioToNaive)
+		}
+		if r.RatioToNaive > 1.01 {
+			t.Errorf("%v ratio %v exceeds naive", r.Mode, r.RatioToNaive)
+		}
+	}
+
+	threads, err := AblationIntraHost(opts, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(threads) != 2 || threads[0].Seconds <= 0 {
+		t.Errorf("thread rows: %+v", threads)
+	}
+}

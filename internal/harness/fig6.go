@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"graphword2vec/internal/gluon"
+)
+
+// Fig6Curve is one accuracy-vs-epoch series of Figure 6.
+type Fig6Curve struct {
+	// Label identifies the series ("SM", "MC lr=0.025", "AVG lr=0.8"...).
+	Label string
+	// Reduction is "SM", "MC" or "AVG" (the figure's colour).
+	Reduction string
+	// LearningRate is the series' α.
+	LearningRate float32
+	// TotalAcc[e] is the total analogy accuracy after epoch e.
+	TotalAcc []float64
+}
+
+// Fig6Multipliers are the AVG learning-rate multiples swept by the paper:
+// the sequential rate ×1 (0.025 in the paper) up to ×32 (0.8 — the
+// divergent setting matching the host count).
+var Fig6Multipliers = []float32{1, 2, 4, 8, 16, 32}
+
+// Fig6 regenerates Figure 6 on the 1-billion stand-in: total accuracy per
+// epoch for the shared-memory baseline (SM), GraphWord2Vec with the model
+// combiner (MC, α=0.025), and distributed averaging (AVG) across learning
+// rates. The paper's qualitative result: MC tracks SM epoch-for-epoch;
+// AVG at the sequential rate converges slowly; AVG at the 32×-scaled rate
+// collapses.
+func Fig6(opts Options) ([]Fig6Curve, error) {
+	opts = opts.WithDefaults()
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		return nil, err
+	}
+	var curves []Fig6Curve
+
+	// Shared-memory baseline (blue line).
+	sm, err := runW2V(d, opts, opts.BaseAlpha, true)
+	if err != nil {
+		return nil, fmt.Errorf("harness: SM baseline: %w", err)
+	}
+	smCurve := Fig6Curve{Label: fmt.Sprintf("SM lr=%g", opts.BaseAlpha), Reduction: "SM", LearningRate: opts.BaseAlpha}
+	for _, acc := range sm.PerEpochAcc {
+		smCurve.TotalAcc = append(smCurve.TotalAcc, acc.Total)
+	}
+	curves = append(curves, smCurve)
+
+	// MC at the sequential learning rate (green line).
+	mcCurve := Fig6Curve{Label: fmt.Sprintf("MC lr=%g", opts.BaseAlpha), Reduction: "MC", LearningRate: opts.BaseAlpha}
+	cfg := distConfig(opts, opts.Hosts, syncRoundsFor(opts), "MC", gluon.RepModelOpt, opts.BaseAlpha)
+	if _, _, err := runDistributed(d, opts, cfg, func(_ int, acc Accuracies) {
+		mcCurve.TotalAcc = append(mcCurve.TotalAcc, acc.Total)
+	}); err != nil {
+		return nil, fmt.Errorf("harness: MC curve: %w", err)
+	}
+	curves = append(curves, mcCurve)
+
+	// AVG at each learning-rate multiple (red lines).
+	for _, mult := range Fig6Multipliers {
+		lr := opts.BaseAlpha * mult
+		curve := Fig6Curve{Label: fmt.Sprintf("AVG lr=%g", lr), Reduction: "AVG", LearningRate: lr}
+		cfg := distConfig(opts, opts.Hosts, syncRoundsFor(opts), "AVG", gluon.RepModelOpt, lr)
+		if _, _, err := runDistributed(d, opts, cfg, func(_ int, acc Accuracies) {
+			curve.TotalAcc = append(curve.TotalAcc, acc.Total)
+		}); err != nil {
+			return nil, fmt.Errorf("harness: AVG lr=%g: %w", lr, err)
+		}
+		curves = append(curves, curve)
+	}
+
+	w := tabwriter.NewWriter(opts.out(), 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Figure 6: Total accuracy (%%) per epoch, 1-billion, %d hosts (scale=%s)\n", opts.Hosts, opts.Scale)
+	fmt.Fprint(w, "Epoch")
+	for _, c := range curves {
+		fmt.Fprintf(w, "\t%s", c.Label)
+	}
+	fmt.Fprintln(w)
+	for e := 0; e < opts.Epochs; e++ {
+		fmt.Fprintf(w, "%d", e+1)
+		for _, c := range curves {
+			if e < len(c.TotalAcc) {
+				fmt.Fprintf(w, "\t%.1f", c.TotalAcc[e])
+			} else {
+				fmt.Fprint(w, "\t-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return curves, nil
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"graphword2vec/internal/gluon"
+)
+
+// Fig7Row is one (combiner, sync frequency) cell of Figure 7.
+type Fig7Row struct {
+	Combiner      string
+	SyncFrequency int
+	Acc           Accuracies
+}
+
+// Fig7Frequencies are the paper's swept synchronisation frequencies.
+var Fig7Frequencies = []int{12, 24, 48}
+
+// Fig7 regenerates Figure 7: the effect of synchronisation frequency on
+// semantic / syntactic / total accuracy for the model combiner (MC) and
+// averaging (AVG) on the 1-billion stand-in. The paper's finding: MC
+// gains a few points as S grows 12→48, AVG barely moves. The returned
+// baseline accuracy reproduces the figure's dotted 1-host line.
+func Fig7(opts Options) (rows []Fig7Row, baseline Accuracies, err error) {
+	opts = opts.WithDefaults()
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		return nil, Accuracies{}, err
+	}
+	sm, err := runW2V(d, opts, opts.BaseAlpha, false)
+	if err != nil {
+		return nil, Accuracies{}, fmt.Errorf("harness: 1-host baseline: %w", err)
+	}
+	baseline = sm.Acc
+
+	for _, comb := range []string{"AVG", "MC"} {
+		for _, freq := range Fig7Frequencies {
+			cfg := distConfig(opts, opts.Hosts, freq, comb, gluon.RepModelOpt, opts.BaseAlpha)
+			_, acc, err := runDistributed(d, opts, cfg, nil)
+			if err != nil {
+				return nil, Accuracies{}, fmt.Errorf("harness: %s S=%d: %w", comb, freq, err)
+			}
+			rows = append(rows, Fig7Row{Combiner: comb, SyncFrequency: freq, Acc: acc})
+		}
+	}
+
+	w := tabwriter.NewWriter(opts.out(), 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Figure 7: Accuracy (%%) vs synchronization frequency, 1-billion, %d hosts (scale=%s)\n", opts.Hosts, opts.Scale)
+	fmt.Fprintf(w, "(dotted 1-host line: sem %.1f, syn %.1f, tot %.1f)\n", baseline.Semantic, baseline.Syntactic, baseline.Total)
+	fmt.Fprintln(w, "Combiner\tSyncFreq\tSemantic\tSyntactic\tTotal")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\n", r.Combiner, r.SyncFrequency, r.Acc.Semantic, r.Acc.Syntactic, r.Acc.Total)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, Accuracies{}, err
+	}
+	return rows, baseline, nil
+}

@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProbe16(t *testing.T) {
+	if os.Getenv("GW2V_P16") == "" {
+		t.Skip()
+	}
+	opts := tinyOpts()
+	opts.Epochs = 16
+	opts.QuestionsPerCategory = 12
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runW2V(d, opts, opts.BaseAlpha, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c []float64
+	for _, a := range res.PerEpochAcc {
+		c = append(c, a.Total)
+	}
+	t.Logf("W2V 16ep: %v", fmtCurve(c))
+}

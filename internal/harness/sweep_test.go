@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/synth"
+)
+
+// TestSweepCalibration is a manual tuning aid, enabled with
+// GW2V_SWEEP=1; it logs accuracy trajectories across generator settings.
+func TestSweepCalibration(t *testing.T) {
+	if os.Getenv("GW2V_SWEEP") == "" {
+		t.Skip("set GW2V_SWEEP=1 to run")
+	}
+	for _, temp := range []float64{0.4, 0.55, 0.7} {
+		for _, alpha := range []float32{0.025, 0.0125} {
+			opts := tinyOpts()
+			opts.Epochs = 8
+			cfg, err := synth.Preset("1-billion", opts.Scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Temperature = temp
+			d, err := materialize(cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := runW2V(d, opts, alpha, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tots []float64
+			for _, a := range res.PerEpochAcc {
+				tots = append(tots, a.Total)
+			}
+			t.Logf("temp=%.2f alpha=%.4f: %v", temp, alpha, fmtCurve(tots))
+		}
+	}
+}
+
+// TestSweepDistributed tunes the distributed regime; GW2V_SWEEP2=1.
+func TestSweepDistributed(t *testing.T) {
+	if os.Getenv("GW2V_SWEEP2") == "" {
+		t.Skip("set GW2V_SWEEP2=1 to run")
+	}
+	for _, dim := range []int{16, 32} {
+		opts := tinyOpts()
+		opts.Epochs = 8
+		opts.Dim = dim
+		d, err := LoadDataset("1-billion", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := runW2V(d, opts, opts.BaseAlpha, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var smc []float64
+		for _, a := range sm.PerEpochAcc {
+			smc = append(smc, a.Total)
+		}
+		t.Logf("dim=%d SM: %v", dim, fmtCurve(smc))
+		for _, hosts := range []int{8} {
+			for _, s := range []int{12, 24, 48} {
+				var curve []float64
+				cfg := distConfig(opts, hosts, s, "MC", gluonOpt(), opts.BaseAlpha)
+				if _, _, err := runDistributed(d, opts, cfg, func(_ int, acc Accuracies) {
+					curve = append(curve, acc.Total)
+				}); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("dim=%d MC h=%d S=%d: %v", dim, hosts, s, fmtCurve(curve))
+			}
+		}
+	}
+}
+
+func fmtCurve(v []float64) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x + 0.5)
+	}
+	return out
+}
+
+func gluonOpt() gluon.Mode { return gluon.RepModelOpt }

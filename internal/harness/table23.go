@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/gluon"
+)
+
+// Table23Row holds one dataset's results for Tables 2 and 3: training
+// times of the two shared-memory baselines (1 host) and GraphWord2Vec
+// (opts.Hosts hosts), the speedup, and the three systems' accuracies.
+type Table23Row struct {
+	Dataset string
+	// Simulated training times in seconds.
+	W2VSeconds, GEMSeconds, GW2VSeconds float64
+	// GEMOOM marks the Gensim out-of-memory cell (paper: wiki).
+	GEMOOM bool
+	// Speedup is W2VSeconds / GW2VSeconds (paper reports ~14×).
+	Speedup float64
+	// Accuracies for Table 3.
+	W2VAcc, GEMAcc, GW2VAcc Accuracies
+}
+
+// Table23 regenerates Table 2 (execution time and speedup) and Table 3
+// (semantic/syntactic/total accuracy) in one pass, since they share the
+// same training runs.
+func Table23(opts Options) ([]Table23Row, error) {
+	opts = opts.WithDefaults()
+	datasets, err := LoadAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	budget := gemMemoryBudgetBytes(int64(datasets[len(datasets)-1].Corp.Len()))
+
+	var rows []Table23Row
+	for _, d := range datasets {
+		row := Table23Row{Dataset: d.Name}
+
+		w2v, err := runW2V(d, opts, opts.BaseAlpha, false)
+		if err != nil {
+			return nil, fmt.Errorf("harness: W2V on %s: %w", d.Name, err)
+		}
+		row.W2VSeconds = w2v.SimSeconds
+		row.W2VAcc = w2v.Acc
+
+		if gemPeakBytes(d, opts.Dim) > budget {
+			row.GEMOOM = true
+		} else {
+			gem, err := runGEM(d, opts, opts.BaseAlpha)
+			if err != nil {
+				return nil, fmt.Errorf("harness: GEM on %s: %w", d.Name, err)
+			}
+			row.GEMSeconds = gem.SimSeconds
+			row.GEMAcc = gem.Acc
+		}
+
+		cfg := distConfig(opts, opts.Hosts, syncRoundsFor(opts), "MC", gluon.RepModelOpt, opts.BaseAlpha)
+		res, acc, err := runDistributed(d, opts, cfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("harness: GW2V on %s: %w", d.Name, err)
+		}
+		row.GW2VSeconds = res.SimulatedSeconds(opts.Cost, opts.ModeledThreads, opts.ThreadEff)
+		row.GW2VAcc = acc
+		if row.GW2VSeconds > 0 {
+			row.Speedup = row.W2VSeconds / row.GW2VSeconds
+		}
+		rows = append(rows, row)
+	}
+
+	out := opts.out()
+	w := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Table 2: Execution time (simulated sec) of Word2Vec and Gensim on 1 host\n")
+	fmt.Fprintf(w, "and GraphWord2Vec on %d hosts, and speedup of GW2V over W2V (scale=%s)\n", opts.Hosts, opts.Scale)
+	fmt.Fprintln(w, "Dataset\tW2V\tGEM\tGW2V\tSpeedup")
+	for _, r := range rows {
+		gem := fmtDuration(r.GEMSeconds)
+		if r.GEMOOM {
+			gem = "OOM"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.1fx\n", r.Dataset, fmtDuration(r.W2VSeconds), gem, fmtDuration(r.GW2VSeconds), r.Speedup)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Table 3: Accuracy (semantic, syntactic, total) in percent")
+	fmt.Fprintln(w, "Dataset\tW2V sem\tGEM sem\tGW2V sem\tW2V syn\tGEM syn\tGW2V syn\tW2V tot\tGEM tot\tGW2V tot")
+	for _, r := range rows {
+		gemS, gemY, gemT := fmt.Sprintf("%.1f", r.GEMAcc.Semantic), fmt.Sprintf("%.1f", r.GEMAcc.Syntactic), fmt.Sprintf("%.1f", r.GEMAcc.Total)
+		if r.GEMOOM {
+			gemS, gemY, gemT = "-", "-", "-"
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%s\t%.1f\t%.1f\t%s\t%.1f\t%.1f\t%s\t%.1f\n",
+			r.Dataset,
+			r.W2VAcc.Semantic, gemS, r.GW2VAcc.Semantic,
+			r.W2VAcc.Syntactic, gemY, r.GW2VAcc.Syntactic,
+			r.W2VAcc.Total, gemT, r.GW2VAcc.Total)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// syncRoundsFor applies the paper's rule of thumb to the configured
+// host count.
+func syncRoundsFor(opts Options) int {
+	return core.SyncFrequencyRule(opts.Hosts)
+}

@@ -1,0 +1,69 @@
+package sgns
+
+import (
+	"graphword2vec/internal/bitset"
+	"graphword2vec/internal/xrand"
+)
+
+// InspectTokens is the PullModel inspection phase (paper §4.4): it replays
+// exactly the random choices TrainTokens would make on the same worklist
+// chunk with the same generator seed — subsampling coin flips, dynamic
+// window draws, negative samples — and records every node the compute
+// phase will access, without touching the model.
+//
+// The invariant that makes PullModel sound is
+//
+//	InspectTokens(tokens, seed)  ⊇  touched(TrainTokens(tokens, seed))
+//
+// and because every SGNS read is also a write, the sets are in fact
+// equal. TestInspectMatchesTrain pins this; any change to TrainTokens'
+// randomness consumption must be mirrored here.
+func (t *Trainer) InspectTokens(tokens []int32, r *xrand.Rand, access *bitset.Bitset) {
+	maxSent := t.Params.MaxSentenceLength
+	sen := make([]int32, 0, maxSent)
+	for start := 0; start < len(tokens); start += maxSent {
+		end := start + maxSent
+		if end > len(tokens) {
+			end = len(tokens)
+		}
+		sen = sen[:0]
+		for _, w := range tokens[start:end] {
+			if t.Vocab.Keep(w, r) {
+				sen = append(sen, w)
+			}
+		}
+		t.inspectSentence(sen, r, access)
+	}
+}
+
+// inspectSentence mirrors trainSentence's control flow and RNG use.
+func (t *Trainer) inspectSentence(sen []int32, r *xrand.Rand, access *bitset.Bitset) {
+	window := t.Params.Window
+	for pos, center := range sen {
+		b := r.Intn(window)
+		lo := pos - (window - b)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := pos + (window - b) + 1
+		if hi > len(sen) {
+			hi = len(sen)
+		}
+		for cpos := lo; cpos < hi; cpos++ {
+			if cpos == pos {
+				continue
+			}
+			// Mirrors trainPair: context's embedding row and each
+			// target's training row are accessed.
+			access.Set(int(sen[cpos]))
+			access.Set(int(center))
+			for d := 1; d <= t.Params.Negatives; d++ {
+				target := t.Neg.SampleExcluding(r, center)
+				if target == center {
+					continue
+				}
+				access.Set(int(target))
+			}
+		}
+	}
+}

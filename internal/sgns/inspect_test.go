@@ -1,0 +1,106 @@
+package sgns
+
+import (
+	"strings"
+	"testing"
+
+	"graphword2vec/internal/bitset"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/xrand"
+)
+
+// buildWithSampling is buildTiny with frequent-word subsampling enabled.
+func buildWithSampling(t testing.TB, text string, dim int, p Params, sample float64) (*Trainer, []int32) {
+	t.Helper()
+	b, err := vocab.CountFromTokens(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Build(vocab.Options{MinCount: 1, Sample: sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := vocab.NewUnigramTable(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.New(v.Size(), dim)
+	m.InitRandom(1)
+	tr, err := NewTrainer(m, v, neg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tokens []int32
+	for _, w := range strings.Fields(text) {
+		if id := v.ID(w); id >= 0 {
+			tokens = append(tokens, id)
+		}
+	}
+	return tr, tokens
+}
+
+// TestInspectMatchesTrain pins the PullModel soundness invariant: the
+// inspection pass with the same seed must predict exactly the node set
+// the training pass touches.
+func TestInspectMatchesTrain(t *testing.T) {
+	text := strings.Repeat("a b c d e f g h i j ", 100)
+	for _, params := range []Params{
+		{Window: 2, Negatives: 3},
+		{Window: 5, Negatives: 15},
+		{Window: 1, Negatives: 0},
+	} {
+		tr, tokens := buildTiny(t, text, 8, params)
+		touched := bitset.New(tr.Vocab.Size())
+		access := bitset.New(tr.Vocab.Size())
+		var st Stats
+		tr.TrainTokens(tokens, 0.05, xrand.New(99), touched, &st)
+		tr.InspectTokens(tokens, xrand.New(99), access)
+		for i := 0; i < tr.Vocab.Size(); i++ {
+			if touched.Get(i) != access.Get(i) {
+				t.Fatalf("params %+v: node %d touched=%v access=%v", params, i, touched.Get(i), access.Get(i))
+			}
+		}
+	}
+}
+
+// Same invariant with subsampling active (the Keep coin flips are part of
+// the RNG stream and must be replayed identically).
+func TestInspectMatchesTrainWithSubsampling(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 3000; i++ {
+		sb.WriteString("the ")
+		if i%3 == 0 {
+			sb.WriteString("fox ")
+		}
+		if i%7 == 0 {
+			sb.WriteString("ran ")
+		}
+	}
+	tr, tokens := buildWithSampling(t, sb.String(), 4, Params{Window: 3, Negatives: 5}, 1e-3)
+	touched := bitset.New(tr.Vocab.Size())
+	access := bitset.New(tr.Vocab.Size())
+	var st Stats
+	tr.TrainTokens(tokens, 0.05, xrand.New(5), touched, &st)
+	tr.InspectTokens(tokens, xrand.New(5), access)
+	for i := 0; i < tr.Vocab.Size(); i++ {
+		if touched.Get(i) != access.Get(i) {
+			t.Fatalf("node %d touched=%v access=%v", i, touched.Get(i), access.Get(i))
+		}
+	}
+	if st.TokensKept >= st.TokensSeen {
+		t.Error("expected subsampling to discard tokens in this corpus")
+	}
+}
+
+func TestInspectDoesNotTouchModel(t *testing.T) {
+	text := strings.Repeat("p q r s ", 50)
+	tr, tokens := buildTiny(t, text, 8, Params{Window: 2, Negatives: 4})
+	before := tr.Model.Clone()
+	tr.InspectTokens(tokens, xrand.New(1), bitset.New(tr.Vocab.Size()))
+	for i := range before.Emb.Data {
+		if tr.Model.Emb.Data[i] != before.Emb.Data[i] || tr.Model.Ctx.Data[i] != before.Ctx.Data[i] {
+			t.Fatal("inspection modified the model")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package synth
+
+import "fmt"
+
+// Scale selects how large the preset datasets are. The paper's corpora
+// (0.67–3.6 G tokens) cannot be trained in a test harness, so each preset
+// exists at several scales with identical *relative* proportions between
+// the three datasets.
+type Scale int
+
+const (
+	// ScaleTiny is for unit tests and `go test -bench` — seconds per run.
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default for the experiment harness — minutes
+	// for the full suite.
+	ScaleSmall
+	// ScaleFull is the largest laptop-class configuration.
+	ScaleFull
+)
+
+// ParseScale converts a flag string into a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "full":
+		return ScaleFull, nil
+	}
+	return 0, fmt.Errorf("synth: unknown scale %q (want tiny, small or full)", s)
+}
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// factor returns the token multiplier relative to ScaleSmall.
+func (s Scale) factor() float64 {
+	switch s {
+	case ScaleTiny:
+		return 0.1
+	case ScaleFull:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// vocabFactor returns the vocabulary multiplier relative to ScaleSmall.
+// Vocabulary shrinks with the corpus (though more slowly, as in real
+// text) so the tokens-per-word training density stays in a regime where
+// the analogy structure is learnable at every scale.
+func (s Scale) vocabFactor() float64 {
+	switch s {
+	case ScaleTiny:
+		return 0.25
+	case ScaleFull:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Dim returns the embedding dimensionality used at this scale (the paper
+// uses 200 at cluster scale). Dimensionality matters for the model
+// combiner: the §3 argument relies on per-host deltas being close to
+// orthogonal, which needs enough dimensions relative to the shared
+// vocabulary, so even the tiny scale keeps 32.
+func (s Scale) Dim() int {
+	switch s {
+	case ScaleTiny:
+		return 32
+	case ScaleFull:
+		return 64
+	default:
+		return 48
+	}
+}
+
+// DatasetNames lists the paper's three datasets in presentation order.
+var DatasetNames = []string{"1-billion", "news", "wiki"}
+
+// Preset returns the simulated stand-in for one of the paper's datasets
+// (Table 1). Relative proportions follow the paper: news is slightly
+// larger than 1-billion; wiki has ~6.9× the vocabulary and ~5.4× the
+// tokens of 1-billion.
+func Preset(name string, scale Scale) (Config, error) {
+	f := scale.factor()
+	vf := scale.vocabFactor()
+	base := Config{
+		SemAttrs:     4,
+		SynAttrs:     5,
+		SentenceLen:  25,
+		LatentDim:    8,
+		Temperature:  0.55,
+		FillerProb:   0.35,
+		ZipfExponent: 1.05,
+	}
+	scaleInt := func(n int) int {
+		v := int(float64(n) * vf)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	switch name {
+	case "1-billion":
+		base.Name = "1-billion"
+		base.Groups = scaleInt(24)
+		base.Fillers = scaleInt(1000)
+		base.Tokens = int64(400_000 * f)
+		base.Seed = 1_000_001
+	case "news":
+		base.Name = "news"
+		base.Groups = scaleInt(28)
+		base.Fillers = scaleInt(1200)
+		base.Tokens = int64(430_000 * f)
+		base.Seed = 1_000_002
+	case "wiki":
+		base.Name = "wiki"
+		base.Groups = scaleInt(96)
+		base.Fillers = scaleInt(7000)
+		base.Tokens = int64(2_160_000 * f)
+		base.Seed = 1_000_003
+	default:
+		return Config{}, fmt.Errorf("synth: unknown dataset %q (want one of %v)", name, DatasetNames)
+	}
+	return base, nil
+}

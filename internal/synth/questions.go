@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+
+	"graphword2vec/internal/xrand"
+)
+
+// Question is one analogy item "A : B :: C : D" — given A, B, C, the
+// model must place D nearest to vec(B) − vec(A) + vec(C). This mirrors
+// the paper's analogical-reasoning benchmark (§5.1).
+type Question struct {
+	A, B, C, D string
+	// Category names the question family (one of the 14 categories).
+	Category string
+	// Semantic distinguishes the semantic categories from the
+	// syntactic ones for the per-class accuracy split.
+	Semantic bool
+}
+
+// The paper's benchmark has 14 categories: 5 semantic and 9 syntactic.
+const (
+	SemanticCategories  = 5
+	SyntacticCategories = 9
+)
+
+// attrPair identifies a question category: analogies relate attribute a1
+// to attribute a2 across groups.
+type attrPair struct {
+	a1, a2   int
+	semantic bool
+}
+
+// categoryPairs enumerates the attribute pairs backing the 14 categories.
+// Semantic categories pair semantic attributes; syntactic categories pair
+// syntactic attributes (paper §5.1: e.g. country→capital vs calm→calmly).
+func categoryPairs(cfg Config) ([]attrPair, error) {
+	var sem []attrPair
+	for i := 0; i < cfg.SemAttrs && len(sem) < SemanticCategories; i++ {
+		for j := i + 1; j < cfg.SemAttrs && len(sem) < SemanticCategories; j++ {
+			sem = append(sem, attrPair{a1: i, a2: j, semantic: true})
+		}
+	}
+	var syn []attrPair
+	for i := 0; i < cfg.SynAttrs && len(syn) < SyntacticCategories; i++ {
+		for j := i + 1; j < cfg.SynAttrs && len(syn) < SyntacticCategories; j++ {
+			syn = append(syn, attrPair{a1: cfg.SemAttrs + i, a2: cfg.SemAttrs + j, semantic: false})
+		}
+	}
+	if len(sem) < SemanticCategories || len(syn) < SyntacticCategories {
+		return nil, fmt.Errorf("synth: config yields %d semantic / %d syntactic categories, need %d/%d (increase SemAttrs/SynAttrs)",
+			len(sem), len(syn), SemanticCategories, SyntacticCategories)
+	}
+	return append(sem, syn...), nil
+}
+
+// Questions generates up to perCategory analogy questions for each of the
+// 14 categories by sampling distinct group pairs. Deterministic in seed.
+func Questions(cfg Config, perCategory int, seed uint64) ([]Question, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if perCategory <= 0 {
+		return nil, fmt.Errorf("synth: perCategory must be positive, got %d", perCategory)
+	}
+	pairs, err := categoryPairs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := xrand.New(seed)
+	var out []Question
+	for ci, p := range pairs {
+		kind := "sem"
+		if !p.semantic {
+			kind = "syn"
+		}
+		cat := fmt.Sprintf("%s-cat%d(a%d:a%d)", kind, ci, p.a1, p.a2)
+		seen := make(map[[2]int]bool)
+		// Cap attempts so tiny group counts cannot loop forever.
+		for n, attempts := 0, 0; n < perCategory && attempts < perCategory*20; attempts++ {
+			g1 := r.Intn(cfg.Groups)
+			g2 := r.Intn(cfg.Groups)
+			if g1 == g2 || seen[[2]int{g1, g2}] {
+				continue
+			}
+			seen[[2]int{g1, g2}] = true
+			out = append(out, Question{
+				A:        cfg.WordName(g1, p.a1),
+				B:        cfg.WordName(g1, p.a2),
+				C:        cfg.WordName(g2, p.a1),
+				D:        cfg.WordName(g2, p.a2),
+				Category: cat,
+				Semantic: p.semantic,
+			})
+			n++
+		}
+	}
+	return out, nil
+}

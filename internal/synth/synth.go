@@ -1,0 +1,266 @@
+// Package synth generates the synthetic training corpora and analogy
+// question sets that stand in for the paper's datasets (1-billion, news,
+// wiki — see DESIGN.md §2 for the substitution argument).
+//
+// The generator plants a compositional latent structure: a vocabulary of
+// "structured" words indexed by (group, attribute) whose latent vector is
+// the sum of a group vector and an attribute vector, plus a long tail of
+// Zipf-distributed filler words. Sentences are sampled from a topic model:
+// each sentence draws an anchor (group, attribute), and structured tokens
+// are drawn with probability ∝ exp(z_w · t / temperature) around the
+// anchor's latent position. Because Skip-Gram with negative sampling
+// factorises the co-occurrence PMI matrix, training recovers the planted
+// linear structure, which makes the word-analogy task well-posed:
+//
+//	w(g₁,a₁) : w(g₁,a₂) :: w(g₂,a₁) : w(g₂,a₂)
+//
+// Attribute pairs are split into "semantic" and "syntactic" question
+// categories exactly like the 14 categories of Mikolov's
+// question-words.txt used by the paper's evaluation (§5.1).
+package synth
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"graphword2vec/internal/xrand"
+)
+
+// Config parameterises a synthetic dataset.
+type Config struct {
+	// Name labels the dataset in experiment output.
+	Name string
+	// Groups is the number of word groups (e.g. "countries").
+	Groups int
+	// SemAttrs / SynAttrs are the number of semantic and syntactic
+	// attributes; the structured vocabulary has Groups·(SemAttrs+SynAttrs)
+	// words.
+	SemAttrs int
+	SynAttrs int
+	// Fillers is the number of Zipf-tail filler words.
+	Fillers int
+	// Tokens is the corpus length.
+	Tokens int64
+	// SentenceLen is the generated sentence length.
+	SentenceLen int
+	// LatentDim is the dimensionality of the planted latent space.
+	LatentDim int
+	// Temperature scales the topic softmax; lower = tighter topical
+	// clustering = easier analogies.
+	Temperature float64
+	// FillerProb is the per-token probability of emitting a filler word.
+	FillerProb float64
+	// ZipfExponent shapes the filler frequency tail.
+	ZipfExponent float64
+	// Seed drives generation.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is generatable.
+func (c Config) Validate() error {
+	switch {
+	case c.Groups < 2:
+		return errors.New("synth: need at least 2 groups for analogies")
+	case c.SemAttrs+c.SynAttrs < 2:
+		return errors.New("synth: need at least 2 attributes")
+	case c.Tokens <= 0:
+		return errors.New("synth: Tokens must be positive")
+	case c.SentenceLen <= 1:
+		return errors.New("synth: SentenceLen must exceed 1")
+	case c.LatentDim <= 0:
+		return errors.New("synth: LatentDim must be positive")
+	case c.Temperature <= 0:
+		return errors.New("synth: Temperature must be positive")
+	case c.FillerProb < 0 || c.FillerProb >= 1:
+		return errors.New("synth: FillerProb must be in [0,1)")
+	case c.Fillers > 0 && c.ZipfExponent <= 0:
+		return errors.New("synth: ZipfExponent must be positive when Fillers > 0")
+	}
+	return nil
+}
+
+// attrs returns the total attribute count.
+func (c Config) attrs() int { return c.SemAttrs + c.SynAttrs }
+
+// StructuredWords returns the number of (group, attribute) words.
+func (c Config) StructuredWords() int { return c.Groups * c.attrs() }
+
+// VocabWords returns the total generated vocabulary size.
+func (c Config) VocabWords() int { return c.StructuredWords() + c.Fillers }
+
+// Data is a generated corpus: token ids in *generation space* (0-based,
+// structured words first, fillers after) plus the id→surface-word table.
+type Data struct {
+	Config Config
+	// Names maps generation-space ids to surface words.
+	Names []string
+	// Tokens is the corpus in generation-space ids.
+	Tokens []int32
+}
+
+// WordID returns the generation-space id of word (group g, attribute a).
+func (c Config) WordID(g, a int) int32 { return int32(g*c.attrs() + a) }
+
+// WordName returns the surface form of word (g, a). Groups and attributes
+// are encoded in the name so evaluation failures are debuggable.
+func (c Config) WordName(g, a int) string {
+	if a < c.SemAttrs {
+		return fmt.Sprintf("w%d_sem%d", g, a)
+	}
+	return fmt.Sprintf("w%d_syn%d", g, a-c.SemAttrs)
+}
+
+// fillerName returns the surface form of filler word f.
+func fillerName(f int) string { return fmt.Sprintf("f%d", f) }
+
+// Generate produces the corpus. Generation is deterministic in the seed.
+func Generate(cfg Config) (*Data, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := xrand.New(cfg.Seed)
+	nAttrs := cfg.attrs()
+	nStruct := cfg.StructuredWords()
+
+	// Planted latent vectors: z(g,a) = gvec[g] + avec[a].
+	gvecs := make([][]float64, cfg.Groups)
+	for g := range gvecs {
+		gvecs[g] = randLatent(r, cfg.LatentDim)
+	}
+	avecs := make([][]float64, nAttrs)
+	for a := range avecs {
+		avecs[a] = randLatent(r, cfg.LatentDim)
+	}
+	z := make([][]float64, nStruct)
+	for g := 0; g < cfg.Groups; g++ {
+		for a := 0; a < nAttrs; a++ {
+			v := make([]float64, cfg.LatentDim)
+			for d := range v {
+				v[d] = gvecs[g][d] + avecs[a][d]
+			}
+			z[cfg.WordID(g, a)] = v
+		}
+	}
+
+	names := make([]string, 0, cfg.VocabWords())
+	for g := 0; g < cfg.Groups; g++ {
+		for a := 0; a < nAttrs; a++ {
+			names = append(names, cfg.WordName(g, a))
+		}
+	}
+	for f := 0; f < cfg.Fillers; f++ {
+		names = append(names, fillerName(f))
+	}
+
+	var zipf *xrand.Zipf
+	if cfg.Fillers > 0 {
+		var err error
+		zipf, err = xrand.NewZipf(cfg.Fillers, cfg.ZipfExponent)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	tokens := make([]int32, 0, cfg.Tokens)
+	weights := make([]float64, nStruct)
+	cum := make([]float64, nStruct)
+	for int64(len(tokens)) < cfg.Tokens {
+		// Sentence topic: a random anchor's latent position.
+		ag := r.Intn(cfg.Groups)
+		aa := r.Intn(nAttrs)
+		topic := z[cfg.WordID(ag, aa)]
+
+		// Topic-conditioned distribution over structured words.
+		var sum float64
+		for w := 0; w < nStruct; w++ {
+			s := dot(z[w], topic) / cfg.Temperature
+			// Clamp to avoid overflow on pathological configs.
+			if s > 50 {
+				s = 50
+			}
+			weights[w] = math.Exp(s)
+			sum += weights[w]
+			cum[w] = sum
+		}
+
+		n := cfg.SentenceLen
+		if rem := cfg.Tokens - int64(len(tokens)); int64(n) > rem {
+			n = int(rem)
+		}
+		for i := 0; i < n; i++ {
+			if cfg.Fillers > 0 && r.Float64() < cfg.FillerProb {
+				tokens = append(tokens, int32(nStruct+zipf.Draw(r)))
+				continue
+			}
+			u := r.Float64() * sum
+			tokens = append(tokens, int32(searchCum(cum, u)))
+		}
+	}
+	return &Data{Config: cfg, Names: names, Tokens: tokens}, nil
+}
+
+// randLatent draws a latent vector with N(0, 1/√dim) entries so dot
+// products stay O(1) regardless of dimension.
+func randLatent(r *xrand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	scale := 1 / math.Sqrt(float64(dim))
+	for d := range v {
+		v[d] = r.NormFloat64() * scale
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// searchCum returns the first index whose cumulative weight exceeds u.
+func searchCum(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// WriteText streams the corpus as whitespace-separated words — the
+// on-disk form used by the CLI tools and the file-sharding code path.
+func (d *Data) WriteText(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	const lineWords = 1000
+	for i, tok := range d.Tokens {
+		if _, err := bw.WriteString(d.Names[tok]); err != nil {
+			return fmt.Errorf("synth: write: %w", err)
+		}
+		sep := byte(' ')
+		if (i+1)%lineWords == 0 {
+			sep = '\n'
+		}
+		if err := bw.WriteByte(sep); err != nil {
+			return fmt.Errorf("synth: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// TextBytes returns the exact size WriteText would produce, for Table 1's
+// "size on disk" column without materialising the file.
+func (d *Data) TextBytes() int64 {
+	var n int64
+	for _, tok := range d.Tokens {
+		n += int64(len(d.Names[tok])) + 1
+	}
+	return n
+}

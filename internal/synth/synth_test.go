@@ -1,0 +1,352 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Name:         "test",
+		Groups:       6,
+		SemAttrs:     4,
+		SynAttrs:     5,
+		Fillers:      50,
+		Tokens:       5000,
+		SentenceLen:  20,
+		LatentDim:    6,
+		Temperature:  0.6,
+		FillerProb:   0.3,
+		ZipfExponent: 1.0,
+		Seed:         42,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tinyConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Groups = 1 },
+		func(c *Config) { c.SemAttrs, c.SynAttrs = 1, 0 },
+		func(c *Config) { c.Tokens = 0 },
+		func(c *Config) { c.SentenceLen = 1 },
+		func(c *Config) { c.LatentDim = 0 },
+		func(c *Config) { c.Temperature = 0 },
+		func(c *Config) { c.FillerProb = 1 },
+		func(c *Config) { c.FillerProb = -0.1 },
+		func(c *Config) { c.ZipfExponent = 0 },
+	}
+	for i, mut := range bad {
+		c := tinyConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	cfg := tinyConfig()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(d.Tokens)) != cfg.Tokens {
+		t.Fatalf("tokens = %d, want %d", len(d.Tokens), cfg.Tokens)
+	}
+	if len(d.Names) != cfg.VocabWords() {
+		t.Fatalf("names = %d, want %d", len(d.Names), cfg.VocabWords())
+	}
+	for _, tok := range d.Tokens {
+		if tok < 0 || int(tok) >= len(d.Names) {
+			t.Fatalf("token id %d out of range", tok)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tokens {
+		if a.Tokens[i] != b.Tokens[i] {
+			t.Fatalf("same seed diverged at token %d", i)
+		}
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Tokens {
+		if a.Tokens[i] == c.Tokens[i] {
+			same++
+		}
+	}
+	if same == len(a.Tokens) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateUsesFillersAndStructured(t *testing.T) {
+	cfg := tinyConfig()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nStruct := int32(cfg.StructuredWords())
+	var structN, fillN int
+	for _, tok := range d.Tokens {
+		if tok < nStruct {
+			structN++
+		} else {
+			fillN++
+		}
+	}
+	frac := float64(fillN) / float64(len(d.Tokens))
+	if frac < cfg.FillerProb-0.05 || frac > cfg.FillerProb+0.05 {
+		t.Errorf("filler fraction = %v, want ≈ %v", frac, cfg.FillerProb)
+	}
+}
+
+// Co-occurrence structure: words from the same group must co-occur within
+// sentences far more than random pairs — that is the planted signal SGNS
+// learns.
+func TestGeneratePlantedStructure(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Tokens = 40000
+	cfg.FillerProb = 0
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := cfg.SemAttrs + cfg.SynAttrs
+	sameGroup, diffGroup, samePairs, diffPairs := 0, 0, 0, 0
+	for s := 0; s+cfg.SentenceLen <= len(d.Tokens); s += cfg.SentenceLen {
+		sent := d.Tokens[s : s+cfg.SentenceLen]
+		for i := 0; i < len(sent); i++ {
+			for j := i + 1; j < len(sent); j++ {
+				gi, gj := int(sent[i])/attrs, int(sent[j])/attrs
+				if gi == gj {
+					sameGroup++
+					samePairs++
+				} else {
+					diffGroup++
+					diffPairs++
+				}
+			}
+		}
+	}
+	// Under a uniform model same-group pairs would be ~1/Groups of all
+	// pairs; the topic model must concentrate far more.
+	frac := float64(sameGroup) / float64(sameGroup+diffGroup)
+	uniform := 1.0 / float64(cfg.Groups)
+	if frac < 2*uniform {
+		t.Errorf("same-group co-occurrence %.3f barely above uniform %.3f; structure too weak", frac, uniform)
+	}
+}
+
+func TestWriteTextAndTextBytes(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Tokens = 500
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != d.TextBytes() {
+		t.Errorf("TextBytes = %d, actual = %d", d.TextBytes(), buf.Len())
+	}
+	fields := strings.Fields(buf.String())
+	if len(fields) != 500 {
+		t.Fatalf("text has %d tokens, want 500", len(fields))
+	}
+	for i, f := range fields {
+		if f != d.Names[d.Tokens[i]] {
+			t.Fatalf("token %d = %q, want %q", i, f, d.Names[d.Tokens[i]])
+		}
+	}
+}
+
+func TestQuestionsFourteenCategories(t *testing.T) {
+	cfg := tinyConfig()
+	qs, err := Questions(cfg, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]bool{}
+	semCats := map[string]bool{}
+	synCats := map[string]bool{}
+	for _, q := range qs {
+		cats[q.Category] = true
+		if q.Semantic {
+			semCats[q.Category] = true
+		} else {
+			synCats[q.Category] = true
+		}
+	}
+	if len(cats) != 14 {
+		t.Errorf("categories = %d, want 14", len(cats))
+	}
+	if len(semCats) != SemanticCategories {
+		t.Errorf("semantic categories = %d, want %d", len(semCats), SemanticCategories)
+	}
+	if len(synCats) != SyntacticCategories {
+		t.Errorf("syntactic categories = %d, want %d", len(synCats), SyntacticCategories)
+	}
+}
+
+func TestQuestionsWellFormed(t *testing.T) {
+	cfg := tinyConfig()
+	qs, err := Questions(cfg, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("no questions generated")
+	}
+	for _, q := range qs {
+		// All four words distinct, A/B share a group, C/D share a group,
+		// A/C share an attribute, B/D share an attribute. Since names
+		// encode (group, attr) we can check prefixes/suffixes.
+		for _, pair := range [][2]string{{q.A, q.B}, {q.C, q.D}} {
+			if groupOf(pair[0]) != groupOf(pair[1]) {
+				t.Fatalf("question %+v: %s and %s differ in group", q, pair[0], pair[1])
+			}
+		}
+		if groupOf(q.A) == groupOf(q.C) {
+			t.Fatalf("question %+v: A and C share a group", q)
+		}
+		if attrOf(q.A) != attrOf(q.C) || attrOf(q.B) != attrOf(q.D) {
+			t.Fatalf("question %+v: attribute mismatch", q)
+		}
+	}
+}
+
+func groupOf(name string) string { return strings.SplitN(name, "_", 2)[0] }
+func attrOf(name string) string  { return strings.SplitN(name, "_", 2)[1] }
+
+func TestQuestionsDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, _ := Questions(cfg, 5, 9)
+	b, _ := Questions(cfg, 5, 9)
+	if len(a) != len(b) {
+		t.Fatal("question counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("questions not deterministic")
+		}
+	}
+}
+
+func TestQuestionsErrors(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := Questions(cfg, 0, 1); err == nil {
+		t.Error("perCategory=0 accepted")
+	}
+	cfg.SemAttrs, cfg.SynAttrs = 2, 2 // too few for 14 categories
+	if _, err := Questions(cfg, 5, 1); err == nil {
+		t.Error("insufficient attributes accepted")
+	}
+	bad := tinyConfig()
+	bad.Groups = 0
+	if _, err := Questions(bad, 5, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPresetsExistAndScale(t *testing.T) {
+	for _, name := range DatasetNames {
+		small, err := Preset(name, ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := small.Validate(); err != nil {
+			t.Errorf("%s small preset invalid: %v", name, err)
+		}
+		tiny, err := Preset(name, ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tiny.Tokens >= small.Tokens {
+			t.Errorf("%s: tiny tokens %d !< small %d", name, tiny.Tokens, small.Tokens)
+		}
+	}
+	if _, err := Preset("bogus", ScaleSmall); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}
+
+func TestPresetProportionsMatchPaper(t *testing.T) {
+	b, _ := Preset("1-billion", ScaleSmall)
+	n, _ := Preset("news", ScaleSmall)
+	w, _ := Preset("wiki", ScaleSmall)
+	if !(n.Tokens > b.Tokens) {
+		t.Error("news should be slightly larger than 1-billion (Table 1)")
+	}
+	ratio := float64(w.Tokens) / float64(b.Tokens)
+	if ratio < 4.5 || ratio > 6.5 {
+		t.Errorf("wiki/1-billion token ratio = %v, paper has ~5.4", ratio)
+	}
+	vratio := float64(w.VocabWords()) / float64(b.VocabWords())
+	if vratio < 5 || vratio > 9 {
+		t.Errorf("wiki/1-billion vocab ratio = %v, paper has ~6.9", vratio)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "full"} {
+		sc, err := ParseScale(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.String() != s {
+			t.Errorf("round trip %q → %q", s, sc.String())
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestSearchCumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cum := []float64{1, 3, 3.5, 10}
+		cases := map[float64]int{0: 0, 0.99: 0, 1: 1, 2.9: 1, 3.2: 2, 9.99: 3}
+		for u, want := range cases {
+			if searchCum(cum, u) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate100k(b *testing.B) {
+	cfg := tinyConfig()
+	cfg.Tokens = 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

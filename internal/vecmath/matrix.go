@@ -1,0 +1,52 @@
+package vecmath
+
+// Matrix is a dense row-major matrix of float32, stored in one contiguous
+// allocation so that whole-model operations (clone, delta, synchronisation
+// payloads) are simple slice operations. Rows are the unit of access during
+// training: Row(i) returns a view, not a copy.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("vecmath: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float32 {
+	off := i * m.Cols
+	return m.Data[off : off+m.Cols : off+m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom overwrites m's contents with src's. The shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("vecmath: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// SubInto computes dst = m - other element-wise. All shapes must match.
+func (m *Matrix) SubInto(dst, other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols || dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic("vecmath: SubInto shape mismatch")
+	}
+	Sub(dst.Data, m.Data, other.Data)
+}
+
+// MemoryBytes returns the size of the backing store in bytes.
+func (m *Matrix) MemoryBytes() int64 {
+	return int64(len(m.Data)) * 4
+}

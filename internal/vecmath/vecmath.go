@@ -1,0 +1,161 @@
+// Package vecmath implements the dense float32 vector kernels that
+// GraphWord2Vec's training and evaluation paths are built on: dot products,
+// scaled accumulation (axpy), norms, cosine similarity, and the gradient
+// projection primitive behind the paper's model combiner.
+//
+// Word2Vec-style training is dominated by short dense vector operations
+// (the embedding dimensionality is typically 100–300), so the kernels here
+// are written as straight loops with 4-way manual unrolling, which the Go
+// compiler turns into reasonable scalar code without any assembly.
+package vecmath
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; this is the caller's responsibility (checked only in debug
+// builds via tests) because Dot sits on the innermost training loop.
+func Dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Axpy computes y += alpha * x, the classic BLAS saxpy.
+func Axpy(alpha float32, x, y []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale computes x *= alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Add computes dst = a + b element-wise. dst may alias a or b.
+func Add(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise. dst may alias a or b.
+func Sub(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Norm2Sq returns the squared Euclidean norm ‖x‖².
+func Norm2Sq(x []float32) float32 { return Dot(x, x) }
+
+// Norm2 returns the Euclidean norm ‖x‖.
+func Norm2(x []float32) float32 { return float32(math.Sqrt(float64(Norm2Sq(x)))) }
+
+// Normalize scales x to unit Euclidean norm in place. A zero vector is
+// left unchanged (there is no meaningful direction to preserve).
+func Normalize(x []float32) {
+	n := Norm2(x)
+	if n == 0 {
+		return
+	}
+	Scale(1/n, x)
+}
+
+// CosineSim returns the cosine similarity of a and b, or 0 if either
+// vector is zero.
+func CosineSim(a, b []float32) float32 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// ProjectOut removes from g its component along c, in place:
+//
+//	g ← g − (cᵀg / ‖c‖²) · c
+//
+// This is the paper's §3 projection: the residual is orthogonal to c and
+// its norm never exceeds the original ‖g‖ (‖g'‖² = ‖g‖² − ‖g‖²cos²θ).
+// If c is (numerically) zero the call is a no-op: there is no direction to
+// project out, which is exactly the base case of the combiner induction.
+func ProjectOut(g, c []float32) {
+	den := Norm2Sq(c)
+	if den == 0 || math.IsNaN(float64(den)) || math.IsInf(float64(den), 0) {
+		return
+	}
+	coef := Dot(c, g) / den
+	Axpy(-coef, c, g)
+}
+
+// The sigmoid lookup table mirrors word2vec.c: σ(x) is precomputed on
+// [-MaxExp, MaxExp] with SigmoidTableSize buckets; training clamps scores
+// outside the range to the saturated gradient (0 or 1).
+const (
+	// MaxExp bounds the argument of the tabulated sigmoid.
+	MaxExp = 6.0
+	// SigmoidTableSize is the number of buckets in the table.
+	SigmoidTableSize = 1024
+)
+
+var sigmoidTable [SigmoidTableSize]float32
+
+func init() {
+	for i := range sigmoidTable {
+		x := (float64(i)/SigmoidTableSize*2 - 1) * MaxExp
+		e := math.Exp(x)
+		sigmoidTable[i] = float32(e / (e + 1))
+	}
+}
+
+// Sigmoid returns a table-interpolation-free approximation of the logistic
+// function σ(x) = 1/(1+e^{-x}) as used by word2vec.c: arguments beyond
+// ±MaxExp saturate to exactly 0 or 1 so the corresponding gradient
+// contribution vanishes.
+func Sigmoid(x float32) float32 {
+	if x >= MaxExp {
+		return 1
+	}
+	if x <= -MaxExp {
+		return 0
+	}
+	idx := int((x + MaxExp) * (SigmoidTableSize / (2 * MaxExp)))
+	if idx >= SigmoidTableSize {
+		idx = SigmoidTableSize - 1
+	}
+	return sigmoidTable[idx]
+}
+
+// SigmoidExact returns the exact logistic function, used by gradient
+// checks and anywhere precision matters more than speed.
+func SigmoidExact(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,54 @@
+package vocab
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCounts serialises the vocabulary as "word count" lines in id
+// order. Because Build sorts deterministically by (count desc, text),
+// re-Building from these counts reproduces the identical id assignment,
+// so a saved model's rows stay aligned with the reloaded vocabulary.
+func (v *Vocabulary) WriteCounts(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for id := int32(0); id < int32(v.Size()); id++ {
+		word := v.WordAt(id)
+		if _, err := fmt.Fprintf(bw, "%s %d\n", word.Text, word.Count); err != nil {
+			return fmt.Errorf("vocab: write counts: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCounts rebuilds a Vocabulary from WriteCounts output. opts should
+// match the options used at training time (they affect subsampling
+// probabilities, not id assignment).
+func ReadCounts(r io.Reader, opts Options) (*Vocabulary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	b := NewBuilder()
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		i := strings.LastIndexByte(text, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("vocab: counts line %d malformed: %q", line, text)
+		}
+		count, err := strconv.ParseInt(text[i+1:], 10, 64)
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("vocab: counts line %d: bad count %q", line, text[i+1:])
+		}
+		b.AddN(text[:i], count)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vocab: read counts: %w", err)
+	}
+	return b.Build(opts)
+}

@@ -1,0 +1,62 @@
+package vocab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCountsRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddN("alpha", 100)
+	b.AddN("beta", 50)
+	b.AddN("gamma", 50) // tie with beta: order must survive round trip
+	b.AddN("delta", 7)
+	orig, err := b.Build(Options{MinCount: 1, Sample: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCounts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCounts(&buf, Options{MinCount: 1, Sample: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != orig.Size() {
+		t.Fatalf("size %d != %d", got.Size(), orig.Size())
+	}
+	for id := int32(0); id < int32(orig.Size()); id++ {
+		if got.Text(id) != orig.Text(id) || got.Count(id) != orig.Count(id) {
+			t.Fatalf("id %d: %q/%d != %q/%d", id, got.Text(id), got.Count(id), orig.Text(id), orig.Count(id))
+		}
+		if got.KeepProb(id) != orig.KeepProb(id) {
+			t.Fatalf("id %d: keep prob differs", id)
+		}
+	}
+}
+
+func TestReadCountsErrors(t *testing.T) {
+	for _, in := range []string{"word", "word abc", "word -3", " 5"} {
+		if _, err := ReadCounts(strings.NewReader(in), Options{MinCount: 1}); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	v, err := ReadCounts(strings.NewReader("\n\n"), Options{MinCount: 1})
+	if err != nil || v.Size() != 0 {
+		t.Errorf("blank input: %v, size %d", err, v.Size())
+	}
+}
+
+func TestReadCountsWordsWithSpacesRejectedGracefully(t *testing.T) {
+	// Words cannot contain spaces (whitespace tokenisation), but a line
+	// with multiple spaces must still split on the LAST one.
+	v, err := ReadCounts(strings.NewReader("a b 5\n"), Options{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 1 || v.Text(0) != "a b" {
+		t.Errorf("parsed %d words, first %q", v.Size(), v.Text(0))
+	}
+}

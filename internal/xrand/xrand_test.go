@@ -1,0 +1,320 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the public-domain splitmix64.c with seed 0:
+	// first outputs are 0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4.
+	s := NewSplitMix64(0)
+	got1 := s.Next()
+	got2 := s.Next()
+	if got1 != 0xe220a8397b1dcdaf {
+		t.Errorf("first output = %#x, want 0xe220a8397b1dcdaf", got1)
+	}
+	if got2 != 0x6e789e6aa1b965f4 {
+		t.Errorf("second output = %#x, want 0x6e789e6aa1b965f4", got2)
+	}
+}
+
+func TestRandDeterministicAndSplitIndependent(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	// Split streams must not mirror the parent.
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent and split child matched %d/64 draws; streams not independent", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(123)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid entry %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x,%#x) = (%#x,%#x), want (%#x,%#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestAliasRejectsBadWeights(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{0, 0},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range bad {
+		if _, err := NewAlias(w); err == nil {
+			t.Errorf("NewAlias(%v) accepted invalid weights", w)
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 0, 10}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(17)
+	const draws = 400000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := counts[i] / draws
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d: frequency %v, want %v", i, got, want)
+		}
+	}
+	if counts[4] != 0 {
+		t.Errorf("zero-weight outcome drawn %v times", counts[4])
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(2)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero")
+		}
+	}
+}
+
+func TestAliasProbabilitiesProperty(t *testing.T) {
+	// Property: for random weight vectors, empirical frequencies track the
+	// normalised weights.
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 2 + r.Intn(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64() + 0.01
+		}
+		a, err := NewAlias(w)
+		if err != nil {
+			return false
+		}
+		const draws = 50000
+		counts := make([]float64, n)
+		for i := 0; i < draws; i++ {
+			counts[a.Draw(r)]++
+		}
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		for i := range w {
+			if math.Abs(counts[i]/draws-w[i]/sum) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(8)
+	const draws = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	// Rank 0 must be drawn roughly twice as often as rank 1 (1/1 vs 1/2).
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("rank0/rank1 ratio = %v, want ~2", ratio)
+	}
+	if counts[0] < counts[500] {
+		t.Error("Zipf distribution not decreasing in rank")
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0,1) accepted")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10,0) accepted")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("NewZipf(10,NaN) accepted")
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	w := make([]float64, 100000)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -0.75)
+	}
+	a, err := NewAlias(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(1)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Draw(r)
+	}
+	_ = sink
+}
