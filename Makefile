@@ -1,0 +1,31 @@
+# Same entry points CI uses (.github/workflows/ci.yml), so local runs
+# and CI can never disagree about what "passing" means.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt-check fmt
+
+all: fmt-check vet build test-short
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the ~45s experiment reproductions.
+test:
+	$(GO) test ./...
+
+# CI lane: fast tests only, race detector on.
+test-short:
+	$(GO) test -short -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

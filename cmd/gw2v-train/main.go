@@ -13,8 +13,7 @@ import (
 	"log"
 	"time"
 
-	"os"
-
+	"graphword2vec/internal/cliutil"
 	"graphword2vec/internal/core"
 	"graphword2vec/internal/corpus"
 	"graphword2vec/internal/gluon"
@@ -110,7 +109,7 @@ func main() {
 		}
 		cfg.OnEpoch = func(epoch int, _ core.ModelView, er core.EpochResult) {
 			fmt.Printf("epoch %d: alpha %.5f, %d pairs, %s communicated\n",
-				epoch+1, er.Alpha, er.Train.Pairs, byteCount(er.Comm.TotalBytes()))
+				epoch+1, er.Alpha, er.Train.Pairs, cliutil.FormatBytes(er.Comm.TotalBytes()))
 		}
 		tr, err := core.NewTrainer(cfg, voc, neg, corp, *dim)
 		if err != nil {
@@ -122,40 +121,15 @@ func main() {
 		}
 		fmt.Printf("trained on %d hosts (%s, %s) in %s; total volume %s\n",
 			*hosts, *combiner, mode, time.Since(start).Round(time.Millisecond),
-			byteCount(res.Comm.TotalBytes()))
+			cliutil.FormatBytes(res.Comm.TotalBytes()))
 		trained = res.Canonical
 	}
 
 	if err := trained.SaveFile(*modelPath); err != nil {
 		log.Fatal(err)
 	}
-	if err := saveVocabSidecar(*modelPath, voc); err != nil {
+	if err := cliutil.SaveVocabSidecar(*modelPath, voc); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("saved model to %s\n", *modelPath)
-}
-
-func byteCount(b int64) string {
-	units := []string{"B", "KB", "MB", "GB", "TB"}
-	f := float64(b)
-	i := 0
-	for f >= 1000 && i < len(units)-1 {
-		f /= 1000
-		i++
-	}
-	return fmt.Sprintf("%.1f%s", f, units[i])
-}
-
-// saveVocabSidecar writes the vocabulary next to the model so gw2v-eval
-// can map rows back to words.
-func saveVocabSidecar(modelPath string, voc *vocab.Vocabulary) error {
-	f, err := os.Create(modelPath + ".vocab")
-	if err != nil {
-		return err
-	}
-	if err := voc.WriteCounts(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

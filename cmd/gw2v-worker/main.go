@@ -1,0 +1,158 @@
+// Command gw2v-worker runs one host of a real multi-process
+// GraphWord2Vec cluster over TCP. Launch one worker per host with the
+// same corpus, the same flags, and the same -peers list; each worker's
+// -rank selects its position. Rank 0 gathers the canonical model at the
+// end and writes it to -model.
+//
+// A 4-process cluster on one machine:
+//
+//	PEERS=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	for r in 0 1 2 3; do
+//	  gw2v-worker -corpus corpus.txt -rank $r -peers $PEERS -model model.bin &
+//	done
+//	wait
+//
+// With ThreadsPerHost (-threads) left at 1 the result is bit-identical
+// to `gw2v-train -hosts N` on the same corpus, seed and mode.
+package main
+
+import (
+	"flag"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"graphword2vec/internal/cliutil"
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/corpus"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/sgns"
+	"graphword2vec/internal/vocab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-worker: ")
+	var (
+		corpusPath  = flag.String("corpus", "", "training corpus path (required, identical on every rank)")
+		rank        = flag.Int("rank", -1, "this worker's host id in [0, hosts) (required)")
+		peersCSV    = flag.String("peers", "", "comma-separated host:port list, one per rank (required)")
+		listenAddr  = flag.String("listen", "", "bind address override (default: the -peers entry for this rank)")
+		modelPath   = flag.String("model", "model.bin", "output model path (written by rank 0)")
+		dim         = flag.Int("dim", 48, "embedding dimensionality")
+		epochs      = flag.Int("epochs", 16, "training epochs")
+		alpha       = flag.Float64("alpha", 0.025, "initial learning rate")
+		window      = flag.Int("window", 5, "context window")
+		negatives   = flag.Int("negatives", 15, "negative samples per pair")
+		minCount    = flag.Int("min-count", 5, "drop words with fewer occurrences")
+		sample      = flag.Float64("sample", 1e-4, "frequent-word subsampling threshold (0 = off)")
+		threads     = flag.Int("threads", 1, "Hogwild threads on this host (>1 sacrifices bit-determinism)")
+		syncRounds  = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
+		combiner    = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
+		modeStr     = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+		seed        = flag.Uint64("seed", 1, "random seed (identical on every rank)")
+		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers during bootstrap")
+		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
+	)
+	flag.Parse()
+	if *corpusPath == "" {
+		log.Fatal("-corpus is required")
+	}
+	if *peersCSV == "" {
+		log.Fatal("-peers is required")
+	}
+	peers := strings.Split(*peersCSV, ",")
+	if *rank < 0 || *rank >= len(peers) {
+		log.Fatalf("-rank %d out of range for %d peers", *rank, len(peers))
+	}
+	hosts := len(peers)
+	mode, err := gluon.ParseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every rank derives vocabulary and token stream from the shared
+	// corpus file; both passes are deterministic, so all ranks agree on
+	// word ids and the token-space shard boundaries without any wire
+	// traffic. The engine takes this rank's contiguous shard itself.
+	builder, err := corpus.CountFile(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	voc, err := builder.Build(vocab.Options{MinCount: int64(*minCount), Sample: *sample})
+	if err != nil {
+		log.Fatal(err)
+	}
+	neg, err := vocab.NewUnigramTable(voc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corp, err := corpus.Load(f, voc)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		log.Printf("rank %d/%d: vocabulary %d words, corpus %d tokens", *rank, hosts, voc.Size(), corp.Len())
+	}
+
+	cfg := core.DefaultConfig(hosts)
+	cfg.Epochs = *epochs
+	cfg.Alpha = float32(*alpha)
+	cfg.Params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: 10000}
+	cfg.CombinerName = *combiner
+	cfg.Mode = mode
+	cfg.Seed = *seed
+	cfg.ThreadsPerHost = *threads
+	if *syncRounds > 0 {
+		cfg.SyncRounds = *syncRounds
+	}
+
+	// Fold the vocabulary options into the fingerprint too: -sample in
+	// particular changes every subsampling decision without changing the
+	// vocabulary size or token count.
+	tr, err := gluon.DialMesh(gluon.MeshConfig{
+		Rank:     *rank,
+		Peers:    peers,
+		Listen:   *listenAddr,
+		Checksum: cfg.Checksum(voc.Size(), corp.Len(), *dim, math.Float64bits(*sample), uint64(*minCount)),
+		Timeout:  *dialTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	if !*quiet {
+		log.Printf("rank %d: mesh of %d hosts connected", *rank, hosts)
+	}
+
+	var onEpoch func(int, float32, sgns.Stats, gluon.Stats)
+	if !*quiet {
+		onEpoch = func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats) {
+			log.Printf("rank %d epoch %d: alpha %.5f, %d pairs, %s sent", *rank, epoch+1, alpha, train.Pairs, cliutil.FormatBytes(comm.TotalBytes()))
+		}
+	}
+	start := time.Now()
+	res, err := core.RunDistributed(cfg, *rank, tr, voc, neg, corp, *dim, onEpoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("rank %d: trained %d pairs in %s (%s sent)", *rank,
+		res.Engine.Train.Pairs, time.Since(start).Round(time.Millisecond), cliutil.FormatBytes(res.Engine.Comm.TotalBytes()))
+
+	if res.Canonical != nil {
+		if err := res.Canonical.SaveFile(*modelPath); err != nil {
+			log.Fatal(err)
+		}
+		if err := cliutil.SaveVocabSidecar(*modelPath, voc); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rank 0: saved canonical model to %s", *modelPath)
+	}
+}

@@ -1,0 +1,3 @@
+module graphword2vec
+
+go 1.22

@@ -1,0 +1,36 @@
+// Package cliutil holds small helpers shared by the command-line tools
+// (cmd/gw2v-train, cmd/gw2v-worker) and the examples.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"graphword2vec/internal/vocab"
+)
+
+// FormatBytes renders a byte count with SI units ("1.5MB").
+func FormatBytes(b int64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB"}
+	f := float64(b)
+	i := 0
+	for f >= 1000 && i < len(units)-1 {
+		f /= 1000
+		i++
+	}
+	return fmt.Sprintf("%.1f%s", f, units[i])
+}
+
+// SaveVocabSidecar writes the vocabulary next to the model so gw2v-eval
+// can map rows back to words.
+func SaveVocabSidecar(modelPath string, voc *vocab.Vocabulary) error {
+	f, err := os.Create(modelPath + ".vocab")
+	if err != nil {
+		return err
+	}
+	if err := voc.WriteCounts(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"graphword2vec/internal/corpus"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/sgns"
+	"graphword2vec/internal/vocab"
+)
+
+// Barrier tags for the distributed run's cluster-wide synchronisation
+// points. They only need to be distinct from each other: barrier frames
+// have their own message kind, so they can never collide with
+// synchronisation rounds.
+const (
+	barrierStart  = 1
+	barrierFinish = 2
+)
+
+// Checksum fingerprints the configuration plus the dataset shape each
+// worker derived locally. The mesh bootstrap exchanges it during the
+// handshake (gluon.MeshConfig.Checksum), so a worker launched with a
+// different corpus, seed, or hyper-parameter fails at connect time
+// instead of training a silently divergent model. extra lets callers
+// fold in inputs that shape training but live outside Config — e.g.
+// cmd/gw2v-worker folds its vocabulary options, whose subsampling
+// threshold changes per-token keep decisions without changing the
+// vocabulary size or token count.
+func (c *Config) Checksum(vocabSize, corpusLen, dim int, extra ...uint64) uint64 {
+	var shuffle uint64
+	if c.ShuffleEachEpoch {
+		shuffle = 1
+	}
+	comb := uint64(len(c.CombinerName))
+	for _, b := range []byte(c.CombinerName) {
+		comb = mixSeed(comb, uint64(b))
+	}
+	parts := []uint64{
+		uint64(c.Hosts), uint64(c.Epochs), uint64(c.SyncRounds),
+		uint64(math.Float32bits(c.Alpha)), uint64(math.Float32bits(c.MinAlphaFactor)),
+		uint64(c.ThreadsPerHost),
+		uint64(c.Params.Window), uint64(c.Params.Negatives), uint64(c.Params.MaxSentenceLength),
+		uint64(c.Mode), c.Seed, shuffle, comb,
+		uint64(vocabSize), uint64(corpusLen), uint64(dim),
+	}
+	parts = append(parts, extra...)
+	return mixSeed(0x67773276636B73 /* "gw2vcks" */, parts...)
+}
+
+// DistributedResult is one host's outcome of a real distributed run.
+type DistributedResult struct {
+	// Engine carries this host's measurements and final local replica.
+	Engine *EngineResult
+	// Canonical is the gathered canonical model — non-nil only on
+	// rank 0, which assembles every owner's master range.
+	Canonical *model.Model
+}
+
+// RunDistributed drives one host of a real multi-host cluster over the
+// given transport (typically gluon.DialMesh from cmd/gw2v-worker, or a
+// gluon.NewTCPCluster member in tests): barrier on start, free-run the
+// engine's full training loop, gather the canonical model onto rank 0,
+// and barrier on finish so no process tears its connections down while
+// peers still depend on them. Every participating process must call
+// this with identical cfg, vocabulary, corpus and dim — see
+// Config.Checksum for the guard. onEpoch, if non-nil, receives this
+// host's per-epoch counters.
+func RunDistributed(cfg Config, rank int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int,
+	onEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)) (*DistributedResult, error) {
+	eng, err := NewEngine(cfg, rank, tr, voc, neg, corp, dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.sync.Barrier(barrierStart); err != nil {
+		return nil, fmt.Errorf("core: host %d start barrier: %w", rank, err)
+	}
+	res, err := eng.Run(onEpoch)
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := eng.sync.GatherMasters(eng.local)
+	if err != nil {
+		return nil, fmt.Errorf("core: host %d gather: %w", rank, err)
+	}
+	if err := eng.sync.Barrier(barrierFinish); err != nil {
+		return nil, fmt.Errorf("core: host %d finish barrier: %w", rank, err)
+	}
+	// Fold the gather and barrier traffic into the reported totals; the
+	// engine's own accounting stops at the last training epoch.
+	res.Comm = eng.sync.Stats()
+	return &DistributedResult{Engine: res, Canonical: canonical}, nil
+}

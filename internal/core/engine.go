@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"graphword2vec/internal/bitset"
+	"graphword2vec/internal/combine"
+	"graphword2vec/internal/corpus"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/graph"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/sgns"
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/xrand"
+)
+
+// Engine drives one host of a GraphWord2Vec cluster: the per-host slice
+// of Algorithm 1 — compute rounds on the host's worklist chunk
+// alternating with bulk-synchronous model synchronisation — talking to
+// the rest of the cluster only through a gluon.Transport.
+//
+// The same Engine powers both execution modes:
+//
+//   - the simulated cluster (core.Trainer) constructs one Engine per
+//     host over an in-process transport and steps them in lockstep so
+//     per-phase timings can be aggregated centrally, and
+//   - the real distributed mode (RunDistributed, cmd/gw2v-worker) runs
+//     a single Engine per OS process over a TCP transport and lets its
+//     Run loop free-run; the BSP protocol's round-tagged messages keep
+//     hosts aligned.
+//
+// With ThreadsPerHost == 1 every random choice is derived from
+// (Seed, epoch, round, host, thread), so the two modes produce
+// bit-identical models.
+type Engine struct {
+	cfg  Config
+	host int
+	dim  int
+
+	voc     *vocab.Vocabulary
+	corp    *corpus.Corpus
+	part    *graph.Partition
+	local   *model.Model
+	base    *model.Model
+	sync    *gluon.HostSync
+	trainer *sgns.Trainer
+	shard   corpus.Shard
+
+	// epochTokens caches the (possibly shuffled) worklist per epoch;
+	// only the current and next epoch are retained.
+	epochTokens map[int][]int32
+
+	touched *bitset.Bitset
+	access  *bitset.Bitset
+
+	computeSeconds float64
+	stats          sgns.Stats
+	prevComm       gluon.Stats
+}
+
+// validateInputs checks the data a training run needs, shared by
+// NewTrainer and NewEngine.
+func validateInputs(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if voc == nil || neg == nil || corp == nil {
+		return errors.New("core: vocabulary, unigram table and corpus are required")
+	}
+	if voc.Size() == 0 {
+		return errors.New("core: empty vocabulary")
+	}
+	if corp.Len() == 0 {
+		return errors.New("core: empty corpus")
+	}
+	if dim <= 0 {
+		return fmt.Errorf("core: dim must be positive, got %d", dim)
+	}
+	if corp.Len() < cfg.Hosts {
+		return fmt.Errorf("core: corpus of %d tokens cannot be sharded across %d hosts", corp.Len(), cfg.Hosts)
+	}
+	return nil
+}
+
+// NewEngine builds the engine for host `host` of a cfg.Hosts-wide
+// cluster on transport tr. Every host must construct its engine from the
+// same configuration, vocabulary, corpus and dimensionality: the initial
+// replica is derived from cfg.Seed (standing in for an initial
+// broadcast) and the corpus is sharded deterministically, so identical
+// inputs are what make replicas and worklists agree across hosts.
+func NewEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int) (*Engine, error) {
+	return newEngine(cfg, host, tr, voc, neg, corp, dim, nil, nil)
+}
+
+// newEngine optionally reuses a pre-built initial replica and partition
+// so the simulated trainer pays the O(V·dim) random init once instead
+// of once per host. init, when non-nil, must equal a fresh
+// InitRandom(cfg.Seed) model; it is cloned, never retained.
+func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int, init *model.Model, part *graph.Partition) (*Engine, error) {
+	if err := validateInputs(cfg, voc, neg, corp, dim); err != nil {
+		return nil, err
+	}
+	if host < 0 || host >= cfg.Hosts {
+		return nil, fmt.Errorf("core: host %d out of range [0,%d)", host, cfg.Hosts)
+	}
+	if tr == nil {
+		return nil, errors.New("core: transport is required")
+	}
+	if tr.NumHosts() != cfg.Hosts {
+		return nil, fmt.Errorf("core: transport spans %d hosts, config %d", tr.NumHosts(), cfg.Hosts)
+	}
+	if part == nil {
+		var err error
+		part, err = graph.NewPartition(voc.Size(), cfg.Hosts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Identical initial replicas on every host (paper §4.2: the model is
+	// fully replicated; a shared init seed stands in for an initial
+	// broadcast).
+	var local *model.Model
+	if init == nil {
+		local = model.New(voc.Size(), dim)
+		local.InitRandom(cfg.Seed)
+	} else {
+		local = init.Clone()
+	}
+	base := local.Clone()
+	hs, err := gluon.NewHostSync(host, part, tr, dim, cfg.Mode, combine.ByName(cfg.CombinerName, 2*dim))
+	if err != nil {
+		return nil, err
+	}
+	st, err := sgns.NewTrainer(local, voc, neg, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:         cfg,
+		host:        host,
+		dim:         dim,
+		voc:         voc,
+		corp:        corp,
+		part:        part,
+		local:       local,
+		base:        base,
+		sync:        hs,
+		trainer:     st,
+		shard:       corp.Split(cfg.Hosts)[host],
+		epochTokens: make(map[int][]int32),
+		touched:     bitset.New(voc.Size()),
+		access:      bitset.New(voc.Size()),
+	}, nil
+}
+
+// Host returns the engine's rank in the cluster.
+func (e *Engine) Host() int { return e.host }
+
+// Local returns the engine's working replica. In the RepModel schemes
+// all replicas agree after a synchronisation; under PullModel only the
+// host's master range is guaranteed canonical.
+func (e *Engine) Local() *model.Model { return e.local }
+
+// Partition returns the cluster's master-ownership map.
+func (e *Engine) Partition() *graph.Partition { return e.part }
+
+// EngineResult is the outcome of one host's Run.
+type EngineResult struct {
+	// Host is the engine's rank.
+	Host int
+	// Local is the host's final working replica.
+	Local *model.Model
+	// Train aggregates the host's SGNS counters over the run.
+	Train sgns.Stats
+	// Comm is the traffic this host sent over the run.
+	Comm gluon.Stats
+	// ComputeSeconds is the host's total measured compute time.
+	ComputeSeconds float64
+}
+
+// Run executes the full training loop for this host: for every epoch and
+// synchronisation round, compute on the round's worklist chunk, inspect
+// the next round's accesses (PullModel), and synchronise. onEpoch, if
+// non-nil, receives this host's per-epoch counters after each epoch.
+func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)) (*EngineResult, error) {
+	res := &EngineResult{Host: e.host}
+	globalRound := uint32(0)
+	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		alpha := e.cfg.alphaForEpoch(epoch)
+		var epochCompute float64
+		for round := 0; round < e.cfg.SyncRounds; round++ {
+			e.computeRound(epoch, round, alpha)
+			epochCompute += e.computeSeconds
+			if e.cfg.Mode == gluon.PullModel {
+				e.inspectNext(epoch, round)
+			}
+			if err := e.syncRound(globalRound); err != nil {
+				return nil, fmt.Errorf("core: host %d epoch %d round %d: %w", e.host, epoch, round, err)
+			}
+			globalRound++
+		}
+		train, comm := e.finishEpoch(epoch)
+		res.Train.Add(train)
+		res.Comm.Add(comm)
+		res.ComputeSeconds += epochCompute
+		if onEpoch != nil {
+			onEpoch(epoch, alpha, train, comm)
+		}
+	}
+	res.Local = e.local
+	return res, nil
+}
+
+// computeRound trains this host on its (epoch, round) worklist chunk
+// (Algorithm 1 line 9) and records the wall time in computeSeconds.
+func (e *Engine) computeRound(epoch, round int, alpha float32) {
+	chunk := e.roundChunk(epoch, round)
+	e.touched.Reset()
+	start := time.Now()
+	if e.cfg.ThreadsPerHost == 1 {
+		r := xrand.New(e.computeSeed(epoch, round, 0))
+		e.trainer.TrainTokens(chunk, alpha, r, e.touched, &e.stats)
+	} else {
+		threads := e.cfg.ThreadsPerHost
+		var wg sync.WaitGroup
+		perThread := make([]*bitset.Bitset, threads)
+		perStats := make([]sgns.Stats, threads)
+		for th := 0; th < threads; th++ {
+			lo := len(chunk) * th / threads
+			hi := len(chunk) * (th + 1) / threads
+			perThread[th] = bitset.New(e.voc.Size())
+			wg.Add(1)
+			go func(th, lo, hi int) {
+				defer wg.Done()
+				r := xrand.New(e.computeSeed(epoch, round, th))
+				e.trainer.TrainTokens(chunk[lo:hi], alpha, r, perThread[th], &perStats[th])
+			}(th, lo, hi)
+		}
+		wg.Wait()
+		for th := 0; th < threads; th++ {
+			e.touched.Or(perThread[th])
+			e.stats.Add(perStats[th])
+		}
+	}
+	e.computeSeconds = time.Since(start).Seconds()
+}
+
+// inspectNext computes this host's next-round access set by replaying
+// the upcoming compute's random choices (paper §4.4's inspection). After
+// the final round the access set is left empty: nothing will be read.
+func (e *Engine) inspectNext(epoch, round int) {
+	e.access.Reset()
+	nextEpoch, nextRound := epoch, round+1
+	if nextRound >= e.cfg.SyncRounds {
+		nextEpoch, nextRound = epoch+1, 0
+	}
+	if nextEpoch >= e.cfg.Epochs {
+		return // final round: nothing will be accessed
+	}
+	chunk := e.roundChunk(nextEpoch, nextRound)
+	threads := e.cfg.ThreadsPerHost
+	for th := 0; th < threads; th++ {
+		lo := len(chunk) * th / threads
+		hi := len(chunk) * (th + 1) / threads
+		r := xrand.New(e.computeSeed(nextEpoch, nextRound, th))
+		e.trainer.InspectTokens(chunk[lo:hi], r, e.access)
+	}
+}
+
+// syncRound runs one bulk-synchronous synchronisation (Algorithm 1 line
+// 10) against the rest of the cluster.
+func (e *Engine) syncRound(round uint32) error {
+	return e.sync.Sync(round, e.local, e.base, e.touched, e.access)
+}
+
+// finishEpoch returns this host's training counters and communication
+// delta for the epoch just completed and resets the per-epoch
+// accumulators, freeing the consumed worklist.
+func (e *Engine) finishEpoch(epoch int) (train sgns.Stats, comm gluon.Stats) {
+	train = e.stats
+	e.stats = sgns.Stats{}
+	cur := e.sync.Stats()
+	comm = cur.Sub(e.prevComm)
+	e.prevComm = cur
+	delete(e.epochTokens, epoch)
+	return train, comm
+}
+
+// roundChunk returns this host's worklist chunk for (epoch, round),
+// materialising (and caching) the epoch's shuffled shard on first use.
+func (e *Engine) roundChunk(epoch, round int) []int32 {
+	tokens, ok := e.epochTokens[epoch]
+	if !ok {
+		if e.cfg.ShuffleEachEpoch {
+			r := xrand.New(e.shuffleSeed(epoch))
+			tokens = e.corp.Shuffled(e.shard, e.cfg.Params.MaxSentenceLength, r)
+		} else {
+			tokens = e.corp.Tokens[e.shard.Start:e.shard.End]
+		}
+		e.epochTokens[epoch] = tokens
+	}
+	s := e.cfg.SyncRounds
+	lo := len(tokens) * round / s
+	hi := len(tokens) * (round + 1) / s
+	return tokens[lo:hi]
+}
+
+// computeSeed derives the deterministic generator seed for one compute
+// unit. The inspection phase reuses the same derivation, which is what
+// makes the PullModel access prediction exact.
+func (e *Engine) computeSeed(epoch, round, thread int) uint64 {
+	return mixSeed(e.cfg.Seed, 0xC0FFEE, uint64(epoch), uint64(round), uint64(e.host), uint64(thread))
+}
+
+// shuffleSeed derives the per-epoch, per-host worklist shuffle seed.
+func (e *Engine) shuffleSeed(epoch int) uint64 {
+	return mixSeed(e.cfg.Seed, 0x5EED, uint64(epoch), uint64(e.host))
+}
+
+// mixSeed folds parts into seed via SplitMix64 steps.
+func mixSeed(seed uint64, parts ...uint64) uint64 {
+	h := seed
+	for _, p := range parts {
+		sm := xrand.NewSplitMix64(h ^ (p * 0x9e3779b97f4a7c15))
+		h = sm.Next()
+	}
+	return h
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Hogwild
+// compute with ThreadsPerHost > 1 is deliberately lock-free (benign
+// data races by word2vec's design), so those tests skip under -race.
+const raceEnabled = true

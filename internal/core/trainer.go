@@ -1,23 +1,22 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync"
-	"time"
 
-	"graphword2vec/internal/bitset"
-	"graphword2vec/internal/combine"
 	"graphword2vec/internal/corpus"
 	"graphword2vec/internal/gluon"
 	"graphword2vec/internal/graph"
 	"graphword2vec/internal/model"
-	"graphword2vec/internal/sgns"
 	"graphword2vec/internal/vocab"
-	"graphword2vec/internal/xrand"
 )
 
-// Trainer runs GraphWord2Vec (Algorithm 1) on a simulated cluster.
+// Trainer runs GraphWord2Vec (Algorithm 1) on a simulated cluster: one
+// Engine per host over an in-process transport, stepped in lockstep so
+// each phase's per-host timings can be measured and aggregated. The real
+// multi-process execution path runs the identical Engine free-running
+// over TCP (see RunDistributed); with ThreadsPerHost == 1 the two paths
+// produce bit-identical models.
 type Trainer struct {
 	cfg  Config
 	voc  *vocab.Vocabulary
@@ -36,91 +35,33 @@ type Trainer struct {
 // NewTrainer validates the configuration against the data and returns a
 // Trainer. dim is the embedding dimensionality.
 func NewTrainer(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int) (*Trainer, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateInputs(cfg, voc, neg, corp, dim); err != nil {
 		return nil, err
 	}
-	if voc == nil || neg == nil || corp == nil {
-		return nil, errors.New("core: vocabulary, unigram table and corpus are required")
-	}
-	if voc.Size() == 0 {
-		return nil, errors.New("core: empty vocabulary")
-	}
-	if corp.Len() == 0 {
-		return nil, errors.New("core: empty corpus")
-	}
-	if dim <= 0 {
-		return nil, fmt.Errorf("core: dim must be positive, got %d", dim)
-	}
-	if corp.Len() < cfg.Hosts {
-		return nil, fmt.Errorf("core: corpus of %d tokens cannot be sharded across %d hosts", corp.Len(), cfg.Hosts)
-	}
 	return &Trainer{cfg: cfg, voc: voc, neg: neg, corp: corp, dim: dim}, nil
-}
-
-// hostState is one simulated host's private state.
-type hostState struct {
-	id      int
-	local   *model.Model
-	base    *model.Model
-	sync    *gluon.HostSync
-	trainer *sgns.Trainer
-	shard   corpus.Shard
-
-	// epochTokens caches the (possibly shuffled) worklist per epoch;
-	// only the current and next epoch are retained.
-	epochTokens map[int][]int32
-
-	touched *bitset.Bitset
-	access  *bitset.Bitset
-
-	computeSeconds float64
-	stats          sgns.Stats
-	prevComm       gluon.Stats
 }
 
 // Run executes the configured training and returns measurements plus the
 // final canonical model.
 func (t *Trainer) Run() (*Result, error) {
 	cfg := t.cfg
-	part, err := graph.NewPartition(t.voc.Size(), cfg.Hosts)
-	if err != nil {
-		return nil, err
-	}
 	tr, err := gluon.NewInProcTransport(cfg.Hosts)
 	if err != nil {
 		return nil, err
 	}
 	defer tr.Close()
 
-	// Identical initial replicas on every host (paper §4.2: the model is
-	// fully replicated; a shared init seed stands in for an initial
-	// broadcast).
+	part, err := graph.NewPartition(t.voc.Size(), cfg.Hosts)
+	if err != nil {
+		return nil, err
+	}
 	init := model.New(t.voc.Size(), t.dim)
 	init.InitRandom(cfg.Seed)
-
-	shards := t.corp.Split(cfg.Hosts)
-	hosts := make([]*hostState, cfg.Hosts)
+	engines := make([]*Engine, cfg.Hosts)
 	for h := 0; h < cfg.Hosts; h++ {
-		local := init.Clone()
-		base := init.Clone()
-		hs, err := gluon.NewHostSync(h, part, tr, t.dim, cfg.Mode, combine.ByName(cfg.CombinerName, 2*t.dim))
+		engines[h], err = newEngine(cfg, h, tr, t.voc, t.neg, t.corp, t.dim, init, part)
 		if err != nil {
 			return nil, err
-		}
-		st, err := sgns.NewTrainer(local, t.voc, t.neg, cfg.Params)
-		if err != nil {
-			return nil, err
-		}
-		hosts[h] = &hostState{
-			id:          h,
-			local:       local,
-			base:        base,
-			sync:        hs,
-			trainer:     st,
-			shard:       shards[h],
-			epochTokens: make(map[int][]int32),
-			touched:     bitset.New(t.voc.Size()),
-			access:      bitset.New(t.voc.Size()),
 		}
 	}
 
@@ -132,48 +73,34 @@ func (t *Trainer) Run() (*Result, error) {
 
 		for round := 0; round < cfg.SyncRounds; round++ {
 			// Compute phase (Algorithm 1 line 9).
-			if err := t.computePhase(hosts, epoch, round, alpha); err != nil {
-				return nil, err
-			}
+			t.computePhase(engines, epoch, round, alpha)
 			var roundMax float64
-			for _, hs := range hosts {
-				if hs.computeSeconds > roundMax {
-					roundMax = hs.computeSeconds
+			for _, e := range engines {
+				if e.computeSeconds > roundMax {
+					roundMax = e.computeSeconds
 				}
-				er.ComputeSeconds[hs.id] += hs.computeSeconds
+				er.ComputeSeconds[e.host] += e.computeSeconds
 			}
 			er.CriticalComputeSeconds += roundMax
 
 			// PullModel inspection of the next round's accesses.
 			if cfg.Mode == gluon.PullModel {
-				t.inspectPhase(hosts, epoch, round)
+				t.inspectPhase(engines, epoch, round)
 			}
 
 			// Synchronisation phase (Algorithm 1 line 10).
-			if err := t.syncPhase(hosts, globalRound); err != nil {
+			if err := t.syncPhase(engines, globalRound); err != nil {
 				return nil, err
 			}
 			globalRound++
 		}
 
 		// Epoch accounting.
-		for _, hs := range hosts {
-			er.Train.Add(hs.stats)
-			hs.stats = sgns.Stats{}
-			cur := hs.sync.Stats()
-			var delta gluon.Stats
-			delta = cur
-			delta.ReduceBytes -= hs.prevComm.ReduceBytes
-			delta.BroadcastBytes -= hs.prevComm.BroadcastBytes
-			delta.ControlBytes -= hs.prevComm.ControlBytes
-			delta.Messages -= hs.prevComm.Messages
-			delta.ReduceEntries -= hs.prevComm.ReduceEntries
-			delta.BroadcastEntries -= hs.prevComm.BroadcastEntries
-			delta.Rounds -= hs.prevComm.Rounds
-			hs.prevComm = cur
-			er.Comm.Add(delta)
-			res.ComputeSeconds[hs.id] += er.ComputeSeconds[hs.id]
-			delete(hs.epochTokens, epoch) // free the consumed worklist
+		for _, e := range engines {
+			train, comm := e.finishEpoch(epoch)
+			er.Train.Add(train)
+			er.Comm.Add(comm)
+			res.ComputeSeconds[e.host] += er.ComputeSeconds[e.host]
 		}
 		res.CriticalComputeSeconds += er.CriticalComputeSeconds
 		res.Comm.Add(er.Comm)
@@ -181,107 +108,58 @@ func (t *Trainer) Run() (*Result, error) {
 		res.Epochs = append(res.Epochs, er)
 
 		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(epoch, ModelView{Model: t.assembleCanonical(part, hosts)}, er)
+			cfg.OnEpoch(epoch, ModelView{Model: assembleCanonical(part, engines, t.dim)}, er)
 		}
 	}
 
-	res.Canonical = t.assembleCanonical(part, hosts)
+	res.Canonical = assembleCanonical(part, engines, t.dim)
 	return res, nil
 }
 
 // computePhase runs one round's SGNS compute on every host.
-func (t *Trainer) computePhase(hosts []*hostState, epoch, round int, alpha float32) error {
+func (t *Trainer) computePhase(engines []*Engine, epoch, round int, alpha float32) {
 	if t.SequentialCompute {
-		for _, hs := range hosts {
-			t.computeHost(hs, epoch, round, alpha)
+		for _, e := range engines {
+			e.computeRound(epoch, round, alpha)
 		}
-		return nil
+		return
 	}
 	var wg sync.WaitGroup
-	for _, hs := range hosts {
+	for _, e := range engines {
 		wg.Add(1)
-		go func(hs *hostState) {
+		go func(e *Engine) {
 			defer wg.Done()
-			t.computeHost(hs, epoch, round, alpha)
-		}(hs)
+			e.computeRound(epoch, round, alpha)
+		}(e)
 	}
 	wg.Wait()
-	return nil
 }
 
-// computeHost trains host hs on its (epoch, round) worklist chunk.
-func (t *Trainer) computeHost(hs *hostState, epoch, round int, alpha float32) {
-	chunk := t.roundChunk(hs, epoch, round)
-	hs.touched.Reset()
-	start := time.Now()
-	if t.cfg.ThreadsPerHost == 1 {
-		r := xrand.New(t.computeSeed(epoch, round, hs.id, 0))
-		hs.trainer.TrainTokens(chunk, alpha, r, hs.touched, &hs.stats)
-	} else {
-		threads := t.cfg.ThreadsPerHost
-		var wg sync.WaitGroup
-		perThread := make([]*bitset.Bitset, threads)
-		perStats := make([]sgns.Stats, threads)
-		for th := 0; th < threads; th++ {
-			lo := len(chunk) * th / threads
-			hi := len(chunk) * (th + 1) / threads
-			perThread[th] = bitset.New(t.voc.Size())
-			wg.Add(1)
-			go func(th, lo, hi int) {
-				defer wg.Done()
-				r := xrand.New(t.computeSeed(epoch, round, hs.id, th))
-				hs.trainer.TrainTokens(chunk[lo:hi], alpha, r, perThread[th], &perStats[th])
-			}(th, lo, hi)
-		}
-		wg.Wait()
-		for th := 0; th < threads; th++ {
-			hs.touched.Or(perThread[th])
-			hs.stats.Add(perStats[th])
-		}
-	}
-	hs.computeSeconds = time.Since(start).Seconds()
-}
-
-// inspectPhase computes each host's next-round access set by replaying the
-// upcoming compute's random choices (paper §4.4's inspection).
-func (t *Trainer) inspectPhase(hosts []*hostState, epoch, round int) {
-	nextEpoch, nextRound := epoch, round+1
-	if nextRound >= t.cfg.SyncRounds {
-		nextEpoch, nextRound = epoch+1, 0
-	}
+// inspectPhase computes each host's next-round access set concurrently
+// (paper §4.4's inspection).
+func (t *Trainer) inspectPhase(engines []*Engine, epoch, round int) {
 	var wg sync.WaitGroup
-	for _, hs := range hosts {
+	for _, e := range engines {
 		wg.Add(1)
-		go func(hs *hostState) {
+		go func(e *Engine) {
 			defer wg.Done()
-			hs.access.Reset()
-			if nextEpoch >= t.cfg.Epochs {
-				return // final round: nothing will be accessed
-			}
-			chunk := t.roundChunk(hs, nextEpoch, nextRound)
-			threads := t.cfg.ThreadsPerHost
-			for th := 0; th < threads; th++ {
-				lo := len(chunk) * th / threads
-				hi := len(chunk) * (th + 1) / threads
-				r := xrand.New(t.computeSeed(nextEpoch, nextRound, hs.id, th))
-				hs.trainer.InspectTokens(chunk[lo:hi], r, hs.access)
-			}
-		}(hs)
+			e.inspectNext(epoch, round)
+		}(e)
 	}
 	wg.Wait()
 }
 
 // syncPhase runs the bulk-synchronous model synchronisation concurrently
 // on every host.
-func (t *Trainer) syncPhase(hosts []*hostState, round uint32) error {
+func (t *Trainer) syncPhase(engines []*Engine, round uint32) error {
 	var wg sync.WaitGroup
-	errs := make([]error, len(hosts))
-	for i, hs := range hosts {
+	errs := make([]error, len(engines))
+	for i, e := range engines {
 		wg.Add(1)
-		go func(i int, hs *hostState) {
+		go func(i int, e *Engine) {
 			defer wg.Done()
-			errs[i] = hs.sync.Sync(round, hs.local, hs.base, hs.touched, hs.access)
-		}(i, hs)
+			errs[i] = e.syncRound(round)
+		}(i, e)
 	}
 	wg.Wait()
 	for h, err := range errs {
@@ -292,57 +170,18 @@ func (t *Trainer) syncPhase(hosts []*hostState, round uint32) error {
 	return nil
 }
 
-// roundChunk returns host hs's worklist chunk for (epoch, round),
-// materialising (and caching) the epoch's shuffled shard on first use.
-func (t *Trainer) roundChunk(hs *hostState, epoch, round int) []int32 {
-	tokens, ok := hs.epochTokens[epoch]
-	if !ok {
-		if t.cfg.ShuffleEachEpoch {
-			r := xrand.New(t.shuffleSeed(epoch, hs.id))
-			tokens = t.corp.Shuffled(hs.shard, t.cfg.Params.MaxSentenceLength, r)
-		} else {
-			tokens = t.corp.Tokens[hs.shard.Start:hs.shard.End]
-		}
-		hs.epochTokens[epoch] = tokens
-	}
-	s := t.cfg.SyncRounds
-	lo := len(tokens) * round / s
-	hi := len(tokens) * (round + 1) / s
-	return tokens[lo:hi]
-}
-
-// computeSeed derives the deterministic generator seed for one compute
-// unit. The inspection phase reuses the same derivation, which is what
-// makes the PullModel access prediction exact.
-func (t *Trainer) computeSeed(epoch, round, host, thread int) uint64 {
-	return mixSeed(t.cfg.Seed, 0xC0FFEE, uint64(epoch), uint64(round), uint64(host), uint64(thread))
-}
-
-// shuffleSeed derives the per-epoch, per-host worklist shuffle seed.
-func (t *Trainer) shuffleSeed(epoch, host int) uint64 {
-	return mixSeed(t.cfg.Seed, 0x5EED, uint64(epoch), uint64(host))
-}
-
-// mixSeed folds parts into seed via SplitMix64 steps.
-func mixSeed(seed uint64, parts ...uint64) uint64 {
-	h := seed
-	for _, p := range parts {
-		sm := xrand.NewSplitMix64(h ^ (p * 0x9e3779b97f4a7c15))
-		h = sm.Next()
-	}
-	return h
-}
-
 // assembleCanonical builds the canonical model by gathering every owner's
 // master-proxy range. In the RepModel schemes all replicas agree, but in
-// PullModel mirrors may be stale, so assembly always reads owners.
-func (t *Trainer) assembleCanonical(part *graph.Partition, hosts []*hostState) *model.Model {
-	out := model.New(t.voc.Size(), t.dim)
-	for _, hs := range hosts {
-		lo, hi := part.MasterRange(hs.id)
+// PullModel mirrors may be stale, so assembly always reads owners. The
+// multi-process path does the same assembly over the wire — see
+// gluon.HostSync.GatherMasters.
+func assembleCanonical(part *graph.Partition, engines []*Engine, dim int) *model.Model {
+	out := model.New(part.NumNodes(), dim)
+	for _, e := range engines {
+		lo, hi := part.MasterRange(e.host)
 		for n := lo; n < hi; n++ {
-			copy(out.EmbRow(int32(n)), hs.local.EmbRow(int32(n)))
-			copy(out.CtxRow(int32(n)), hs.local.CtxRow(int32(n)))
+			copy(out.EmbRow(int32(n)), e.local.EmbRow(int32(n)))
+			copy(out.CtxRow(int32(n)), e.local.CtxRow(int32(n)))
 		}
 	}
 	return out

@@ -306,6 +306,9 @@ func TestRunOnEpochCallback(t *testing.T) {
 }
 
 func TestRunThreadsPerHost(t *testing.T) {
+	if raceEnabled {
+		t.Skip("Hogwild threads race by design")
+	}
 	v, neg, c := testData(t, repeatedText(8))
 	cfg := smallConfig(2)
 	cfg.ThreadsPerHost = 4

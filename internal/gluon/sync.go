@@ -59,7 +59,9 @@ type Stats struct {
 	// (entry data plus per-message headers).
 	ReduceBytes    int64
 	BroadcastBytes int64
-	// ControlBytes are inspection/access announcements (PullModel only).
+	// ControlBytes are non-training-protocol bytes: inspection/access
+	// announcements (PullModel) plus bootstrap traffic — barriers and
+	// the final master gather of the distributed mode.
 	ControlBytes int64
 	// Messages is the number of transport sends.
 	Messages int64
@@ -72,6 +74,20 @@ type Stats struct {
 
 // TotalBytes returns all bytes sent by this host.
 func (s Stats) TotalBytes() int64 { return s.ReduceBytes + s.BroadcastBytes + s.ControlBytes }
+
+// Sub returns the component-wise difference s − prev (per-epoch deltas
+// from cumulative counters).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		ReduceBytes:      s.ReduceBytes - prev.ReduceBytes,
+		BroadcastBytes:   s.BroadcastBytes - prev.BroadcastBytes,
+		ControlBytes:     s.ControlBytes - prev.ControlBytes,
+		Messages:         s.Messages - prev.Messages,
+		ReduceEntries:    s.ReduceEntries - prev.ReduceEntries,
+		BroadcastEntries: s.BroadcastEntries - prev.BroadcastEntries,
+		Rounds:           s.Rounds - prev.Rounds,
+	}
+}
 
 // Add merges other into s.
 func (s *Stats) Add(other Stats) {
@@ -461,6 +477,94 @@ func (hs *HostSync) recordAccess(from int, payload []byte) error {
 	acc := hs.accessByHost[from]
 	acc.Reset()
 	return parseAccessMessage(payload, func(node int) { acc.Set(node) })
+}
+
+// Barrier blocks until every host in the cluster has entered a Barrier
+// call with the same tag: hosts report arrival to host 0, which releases
+// them once all have checked in. Distinct synchronisation points must
+// use distinct tags. Because stray messages are buffered through the
+// same pending queue the synchronisation rounds use, a Barrier is safe
+// to run before the first Sync and after the last one even when faster
+// hosts have already raced ahead into the next phase.
+func (hs *HostSync) Barrier(tag uint32) error {
+	n := hs.part.NumHosts()
+	if n == 1 {
+		return nil
+	}
+	if hs.host == 0 {
+		for need := n - 1; need > 0; need-- {
+			if _, _, err := hs.nextMessage(kindBarrier, tag); err != nil {
+				return fmt.Errorf("gluon: barrier %d collect: %w", tag, err)
+			}
+		}
+		for g := 1; g < n; g++ {
+			msg := barrierMessage(tag)
+			if err := hs.send(g, msg); err != nil {
+				return fmt.Errorf("gluon: barrier %d release: %w", tag, err)
+			}
+			hs.stats.ControlBytes += int64(len(msg))
+		}
+		return nil
+	}
+	msg := barrierMessage(tag)
+	if err := hs.send(0, msg); err != nil {
+		return fmt.Errorf("gluon: barrier %d arrive: %w", tag, err)
+	}
+	hs.stats.ControlBytes += int64(len(msg))
+	if _, _, err := hs.nextMessage(kindBarrier, tag); err != nil {
+		return fmt.Errorf("gluon: barrier %d release: %w", tag, err)
+	}
+	return nil
+}
+
+// GatherMasters assembles the canonical model on host 0 after training:
+// every other host ships the canonical values of its master range, and
+// host 0 combines them with its own range into a fresh model (the wire
+// analogue of the simulated trainer's in-memory assembly). Host 0
+// returns the assembled model; all other hosts return (nil, nil).
+func (hs *HostSync) GatherMasters(local *model.Model) (*model.Model, error) {
+	if local.VocabSize() != hs.part.NumNodes() {
+		return nil, fmt.Errorf("gluon: model size %d does not match partition %d", local.VocabSize(), hs.part.NumNodes())
+	}
+	if hs.host != 0 {
+		lo, hi := hs.part.MasterRange(hs.host)
+		nodes := make([]int32, 0, hi-lo)
+		for n := lo; n < hi; n++ {
+			nodes = append(nodes, int32(n))
+		}
+		msg := vectorMessage(kindGather, 0, hs.dim, nodes, func(n int32, dst []float32) {
+			nodeValue(local, n, dst)
+		})
+		if err := hs.send(0, msg); err != nil {
+			return nil, fmt.Errorf("gluon: gather send: %w", err)
+		}
+		hs.stats.ControlBytes += int64(len(msg))
+		return nil, nil
+	}
+	out := model.New(hs.part.NumNodes(), hs.dim)
+	lo, hi := hs.part.MasterRange(0)
+	for n := lo; n < hi; n++ {
+		copy(out.EmbRow(int32(n)), local.EmbRow(int32(n)))
+		copy(out.CtxRow(int32(n)), local.CtxRow(int32(n)))
+	}
+	for need := hs.part.NumHosts() - 1; need > 0; need-- {
+		from, payload, err := hs.nextMessage(kindGather, 0)
+		if err != nil {
+			return nil, fmt.Errorf("gluon: gather recv: %w", err)
+		}
+		fromLo, fromHi := hs.part.MasterRange(from)
+		err = forEachVectorEntry(payload, hs.dim, func(node int32, vec []float32) error {
+			if int(node) < fromLo || int(node) >= fromHi {
+				return fmt.Errorf("gluon: host %d gathered node %d outside its range [%d,%d)", from, node, fromLo, fromHi)
+			}
+			setNodeValue(out, node, vec, hs.dim)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // resetRound clears per-round state.

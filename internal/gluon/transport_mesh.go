@@ -1,0 +1,263 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Multi-process bootstrap: DialMesh turns N independent OS processes
+// into a fully connected TCPTransport mesh. Every rank listens on its
+// published address; for each unordered pair the lower rank dials the
+// higher one (the same convention NewTCPCluster uses), and the two ends
+// exchange a hello frame carrying the protocol version, the dialer's
+// rank, the cluster size, and a caller-supplied configuration checksum.
+// A mismatch in any of these aborts the bootstrap on both sides, so a
+// worker started with the wrong flags fails loudly instead of training
+// a silently divergent model.
+//
+// Hello frame, all little-endian: magic "GW2VMESH" (8 bytes),
+// version (uint32), sender rank (uint32), cluster size (uint32),
+// checksum (uint64).
+
+const (
+	meshMagic   = "GW2VMESH"
+	meshVersion = 1
+	// meshHelloBytes is the encoded hello size.
+	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8
+	// meshDialRetry is the pause between connection attempts while a
+	// peer's listener is not up yet.
+	meshDialRetry = 100 * time.Millisecond
+)
+
+// MeshConfig describes one rank's view of a multi-process cluster.
+type MeshConfig struct {
+	// Rank is this process's host id in [0, len(Peers)).
+	Rank int
+	// Peers[r] is the address rank r publishes (host:port). Cluster
+	// size is len(Peers); every rank must pass the same list in the
+	// same order.
+	Peers []string
+	// Listen optionally overrides the address this rank binds
+	// (e.g. ":7000" to bind all interfaces while Peers advertises a
+	// routable name). Empty means Peers[Rank].
+	Listen string
+	// Checksum fingerprints the training configuration; all ranks must
+	// agree (see core.Config.Checksum).
+	Checksum uint64
+	// Timeout bounds the whole bootstrap — listening, dialing every
+	// peer (with retries while peers start up), and handshakes.
+	// Zero means 30 seconds.
+	Timeout time.Duration
+}
+
+// DialMesh bootstraps this rank's transport for a multi-process
+// cluster, blocking until the full mesh is connected and verified or
+// the timeout elapses.
+func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
+	n := len(cfg.Peers)
+	if n == 0 {
+		return nil, fmt.Errorf("gluon: mesh needs at least one peer address")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return nil, fmt.Errorf("gluon: mesh rank %d out of range [0,%d)", cfg.Rank, n)
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	t := newTCPTransport(cfg.Rank, n)
+	if n == 1 {
+		return t, nil
+	}
+
+	// Ranks below us dial us; bind before dialing upward so no ordering
+	// of process startup can deadlock the bootstrap.
+	var ln net.Listener
+	if cfg.Rank > 0 {
+		addr := cfg.Listen
+		if addr == "" {
+			addr = cfg.Peers[cfg.Rank]
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("gluon: mesh rank %d listen %s: %w", cfg.Rank, addr, err)
+		}
+		defer ln.Close()
+	}
+
+	type wired struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	results := make(chan wired, n)
+	var producers sync.WaitGroup
+
+	// Accept one connection from every lower rank.
+	if cfg.Rank > 0 {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			seen := make(map[int]bool)
+			for len(seen) < cfg.Rank {
+				if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+					d.SetDeadline(deadline)
+				}
+				conn, err := ln.Accept()
+				if err != nil {
+					results <- wired{err: fmt.Errorf("gluon: mesh rank %d accept: %w", cfg.Rank, err)}
+					return
+				}
+				peer, err := acceptHello(conn, cfg, deadline)
+				if err != nil {
+					conn.Close()
+					results <- wired{err: err}
+					return
+				}
+				if peer >= cfg.Rank || seen[peer] {
+					conn.Close()
+					results <- wired{err: fmt.Errorf("gluon: mesh rank %d: unexpected or duplicate hello from rank %d", cfg.Rank, peer)}
+					return
+				}
+				seen[peer] = true
+				results <- wired{peer: peer, conn: conn}
+			}
+		}()
+	}
+
+	// Dial every higher rank, retrying while its listener comes up.
+	for peer := cfg.Rank + 1; peer < n; peer++ {
+		producers.Add(1)
+		go func(peer int) {
+			defer producers.Done()
+			conn, err := dialHello(cfg, peer, deadline)
+			results <- wired{peer: peer, conn: conn, err: err}
+		}(peer)
+	}
+
+	for need := n - 1; need > 0; need-- {
+		w := <-results
+		if w.err != nil {
+			t.Close()
+			// Close stray connections from producers still in flight
+			// (they all terminate by the bootstrap deadline; the
+			// deferred listener close unblocks the acceptor).
+			go func() {
+				producers.Wait()
+				close(results)
+				for w := range results {
+					if w.conn != nil {
+						w.conn.Close()
+					}
+				}
+			}()
+			return nil, w.err
+		}
+		t.conns[w.peer] = w.conn
+	}
+	t.startReaders()
+	return t, nil
+}
+
+// dialHello connects to peer (a higher rank), retrying until deadline,
+// and runs the hello exchange from the dialer side.
+func dialHello(cfg MeshConfig, peer int, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("timed out")
+			}
+			return nil, fmt.Errorf("gluon: mesh rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Peers[peer], lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", cfg.Peers[peer], remain)
+		if err != nil {
+			lastErr = err
+			time.Sleep(meshDialRetry)
+			continue
+		}
+		if err := writeHello(conn, cfg, deadline); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		got, err := readHello(conn, cfg, deadline)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if got != peer {
+			conn.Close()
+			return nil, fmt.Errorf("gluon: mesh rank %d dialed %s expecting rank %d, got rank %d", cfg.Rank, cfg.Peers[peer], peer, got)
+		}
+		conn.SetDeadline(time.Time{})
+		return conn, nil
+	}
+}
+
+// acceptHello runs the hello exchange from the acceptor side and returns
+// the dialer's rank.
+func acceptHello(conn net.Conn, cfg MeshConfig, deadline time.Time) (int, error) {
+	peer, err := readHello(conn, cfg, deadline)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeHello(conn, cfg, deadline); err != nil {
+		return 0, err
+	}
+	conn.SetDeadline(time.Time{})
+	return peer, nil
+}
+
+// writeHello sends this rank's hello frame.
+func writeHello(conn net.Conn, cfg MeshConfig, deadline time.Time) error {
+	conn.SetDeadline(deadline)
+	buf := make([]byte, meshHelloBytes)
+	off := copy(buf, meshMagic)
+	binary.LittleEndian.PutUint32(buf[off:], meshVersion)
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(cfg.Rank))
+	binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(cfg.Peers)))
+	binary.LittleEndian.PutUint64(buf[off+12:], cfg.Checksum)
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("gluon: mesh rank %d hello write: %w", cfg.Rank, err)
+	}
+	return nil
+}
+
+// readHello reads and validates a peer's hello frame, returning the
+// peer's rank.
+func readHello(conn net.Conn, cfg MeshConfig, deadline time.Time) (int, error) {
+	conn.SetDeadline(deadline)
+	buf := make([]byte, meshHelloBytes)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
+	}
+	if string(buf[:len(meshMagic)]) != meshMagic {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer is not a gw2v worker (bad magic)", cfg.Rank)
+	}
+	off := len(meshMagic)
+	version := binary.LittleEndian.Uint32(buf[off:])
+	rank := binary.LittleEndian.Uint32(buf[off+4:])
+	size := binary.LittleEndian.Uint32(buf[off+8:])
+	sum := binary.LittleEndian.Uint64(buf[off+12:])
+	if version != meshVersion {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer protocol version %d, want %d", cfg.Rank, version, meshVersion)
+	}
+	if int(size) != len(cfg.Peers) {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer cluster size %d, ours %d", cfg.Rank, size, len(cfg.Peers))
+	}
+	if sum != cfg.Checksum {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d config checksum %#x, ours %#x — workers must share identical corpus and flags", cfg.Rank, rank, sum, cfg.Checksum)
+	}
+	if int(rank) >= len(cfg.Peers) {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer claims rank %d of %d", cfg.Rank, rank, size)
+	}
+	return int(rank), nil
+}

@@ -6,17 +6,22 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
-// TCPTransport runs the synchronisation protocol over real TCP sockets.
-// It exists to demonstrate that the substrate is not tied to the
-// in-process simulation: the integration tests run a small cluster over
-// loopback with byte-identical results. Each ordered host pair shares one
-// connection (established lexicographically: lower host id dials), which
-// preserves the per-sender FIFO ordering the protocol depends on.
+// TCPTransport runs the synchronisation protocol over real TCP sockets,
+// in two configurations: NewTCPCluster wires all hosts inside one
+// process over loopback (integration tests, examples), and DialMesh
+// (transport_mesh.go) bootstraps one transport per OS process for true
+// multi-process training. Each ordered host pair shares one connection
+// (established lexicographically: lower host id dials), which preserves
+// the per-sender FIFO ordering the protocol depends on.
 //
 // Frame format: sender id (uint32 LE), payload length (uint32 LE),
-// payload bytes.
+// payload bytes. A malformed frame — oversized length or a sender id
+// that does not match the connection's peer — poisons the transport:
+// it closes and subsequent Recv/Send calls report the framing error
+// instead of hanging.
 type TCPTransport struct {
 	host    int
 	n       int
@@ -26,10 +31,23 @@ type TCPTransport struct {
 	done    chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
+
+	failMu  sync.Mutex
+	failure error // first framing/protocol error, reported by Recv/Send
 }
 
-// maxFrameBytes bounds a single frame to catch corrupted length prefixes.
-const maxFrameBytes = 1 << 30
+// maxFrameBytes bounds a single frame to catch corrupted length
+// prefixes. It is a variable only so tests can lower it; real payloads
+// (at most a few hundred MB for a dense broadcast of a huge model) stay
+// far below the 1 GiB default.
+var maxFrameBytes = uint32(1 << 30)
+
+// peerLossGrace is how long an unexpectedly dropped connection may
+// linger before the transport declares the peer dead. During a clean
+// shutdown every host passes the finish barrier and closes promptly,
+// well inside the grace; a crashed peer leaves the transport open past
+// it, poisoning blocked receivers instead of hanging them forever.
+var peerLossGrace = 5 * time.Second
 
 // NewTCPCluster constructs n TCPTransports wired to each other over
 // loopback listeners. It returns one transport per host. Closing any one
@@ -40,14 +58,7 @@ func NewTCPCluster(n int) ([]*TCPTransport, error) {
 	}
 	trs := make([]*TCPTransport, n)
 	for h := 0; h < n; h++ {
-		trs[h] = &TCPTransport{
-			host:    h,
-			n:       n,
-			conns:   make([]net.Conn, n),
-			writeMu: make([]sync.Mutex, n),
-			inbox:   make(chan inprocMsg, 16*n),
-			done:    make(chan struct{}),
-		}
+		trs[h] = newTCPTransport(h, n)
 	}
 	// Wire each unordered pair with one loopback connection.
 	for a := 0; a < n; a++ {
@@ -83,17 +94,33 @@ func NewTCPCluster(n int) ([]*TCPTransport, error) {
 			trs[b].conns[a] = acc.conn
 		}
 	}
-	// Start one reader goroutine per connection endpoint.
-	for h := 0; h < n; h++ {
-		for g := 0; g < n; g++ {
-			if g == h || trs[h].conns[g] == nil {
-				continue
-			}
-			trs[h].wg.Add(1)
-			go trs[h].readLoop(trs[h].conns[g])
-		}
+	for _, t := range trs {
+		t.startReaders()
 	}
 	return trs, nil
+}
+
+// newTCPTransport allocates an unwired transport for one host.
+func newTCPTransport(host, n int) *TCPTransport {
+	return &TCPTransport{
+		host:    host,
+		n:       n,
+		conns:   make([]net.Conn, n),
+		writeMu: make([]sync.Mutex, n),
+		inbox:   make(chan inprocMsg, 16*n),
+		done:    make(chan struct{}),
+	}
+}
+
+// startReaders launches one reader goroutine per wired connection.
+func (t *TCPTransport) startReaders() {
+	for g, conn := range t.conns {
+		if g == t.host || conn == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn, g)
+	}
 }
 
 func closeAll(trs []*TCPTransport) {
@@ -104,21 +131,72 @@ func closeAll(trs []*TCPTransport) {
 	}
 }
 
-// readLoop decodes frames from one connection into the inbox.
-func (t *TCPTransport) readLoop(conn net.Conn) {
+// peerLost reacts to a dropped connection: unless the transport closes
+// (clean shutdown) within peerLossGrace, the peer is declared dead and
+// the transport poisoned.
+func (t *TCPTransport) peerLost(peer int) {
+	select {
+	case <-t.done:
+		return // our own Close tore the connection down
+	default:
+	}
+	go func() {
+		select {
+		case <-t.done:
+		case <-time.After(peerLossGrace):
+			t.fail(fmt.Errorf("gluon: connection to host %d lost", peer))
+		}
+	}()
+}
+
+// fail records the first protocol error and tears the transport down so
+// blocked Recv/Send calls surface it instead of hanging.
+func (t *TCPTransport) fail(err error) {
+	t.failMu.Lock()
+	if t.failure == nil {
+		t.failure = err
+	}
+	t.failMu.Unlock()
+	t.Close()
+}
+
+// closedErr returns the recorded failure, or ErrTransportClosed for a
+// clean shutdown.
+func (t *TCPTransport) closedErr() error {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	if t.failure != nil {
+		return t.failure
+	}
+	return ErrTransportClosed
+}
+
+// readLoop decodes frames from the connection to host peer into the
+// inbox. A read error (peer closed, process exited) starts the
+// peer-loss grace clock: if the transport is not closed within it, the
+// peer crashed and blocked receivers get an error instead of a hang.
+// A malformed frame poisons the whole transport immediately.
+func (t *TCPTransport) readLoop(conn net.Conn, peer int) {
 	defer t.wg.Done()
 	hdr := make([]byte, 8)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			return // connection closed
+			t.peerLost(peer)
+			return
 		}
 		from := int(binary.LittleEndian.Uint32(hdr))
 		length := binary.LittleEndian.Uint32(hdr[4:])
+		if from != peer {
+			t.fail(fmt.Errorf("gluon: tcp frame claims sender %d on connection to host %d", from, peer))
+			return
+		}
 		if length > maxFrameBytes {
+			t.fail(fmt.Errorf("gluon: tcp frame of %d bytes from host %d exceeds limit %d", length, peer, maxFrameBytes))
 			return
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.peerLost(peer)
 			return
 		}
 		select {
@@ -139,6 +217,14 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 	}
 	if to < 0 || to >= t.n || to == t.host {
 		return fmt.Errorf("gluon: tcp send to invalid host %d", to)
+	}
+	if len(payload) > int(maxFrameBytes) {
+		return fmt.Errorf("gluon: tcp payload of %d bytes exceeds frame limit %d", len(payload), maxFrameBytes)
+	}
+	select {
+	case <-t.done:
+		return t.closedErr()
+	default:
 	}
 	conn := t.conns[to]
 	if conn == nil {
@@ -169,7 +255,7 @@ func (t *TCPTransport) Recv(host int) (int, []byte, error) {
 		case m := <-t.inbox:
 			return m.from, m.payload, nil
 		default:
-			return 0, nil, ErrTransportClosed
+			return 0, nil, t.closedErr()
 		}
 	}
 }

@@ -16,10 +16,15 @@ import (
 // the node's concatenated (embedding ‖ training) label delta or value.
 // Access messages carry a bit-vector restricted to the receiver's master
 // range: (lo uint32, bits uint32, packed bytes).
+// Gather and barrier messages reuse the same header; gather payloads are
+// vector entries (an owner's canonical master rows), barrier payloads are
+// empty and use the round field as a caller-chosen tag.
 const (
 	kindReduce    byte = 1
 	kindBroadcast byte = 2
 	kindAccess    byte = 3
+	kindGather    byte = 4
+	kindBarrier   byte = 5
 
 	headerBytes = 9
 )
@@ -40,6 +45,13 @@ func parseHeader(buf []byte) (kind byte, round, count uint32, err error) {
 		return 0, 0, 0, fmt.Errorf("gluon: short message (%d bytes)", len(buf))
 	}
 	return buf[0], binary.LittleEndian.Uint32(buf[1:]), binary.LittleEndian.Uint32(buf[5:]), nil
+}
+
+// barrierMessage builds an empty barrier frame carrying only a tag.
+func barrierMessage(tag uint32) []byte {
+	buf := make([]byte, headerBytes)
+	putHeader(buf, kindBarrier, tag, 0)
+	return buf
 }
 
 // vectorMessage builds a reduce or broadcast message for the given node

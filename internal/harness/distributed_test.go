@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/model"
+)
+
+// TestMain lets the test binary re-exec itself as a distributed worker:
+// TestMultiProcessMatchesSimulation spawns copies of this binary with
+// GW2V_WORKER_RANK set, giving a true multi-OS-process cluster without
+// needing the go toolchain at test time.
+func TestMain(m *testing.M) {
+	if os.Getenv("GW2V_WORKER_RANK") != "" {
+		if err := runWorkerProcess(); err != nil {
+			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// distTestOpts are the dataset options shared by the parent test and
+// the re-exec'd worker processes; both must derive the identical
+// dataset, so keep this deterministic and in one place.
+func distTestOpts() Options {
+	o := tinyOpts()
+	o.Epochs = 2
+	return o
+}
+
+// distTestConfig is the training configuration for the byte-identity
+// tests: 4 hosts, deterministic, paper-default combiner.
+func distTestConfig(opts Options, mode gluon.Mode) core.Config {
+	cfg := distConfig(opts, 4, core.SyncFrequencyRule(4), "MC", mode, opts.BaseAlpha)
+	cfg.Epochs = opts.Epochs
+	return cfg
+}
+
+// simulatedCanonical trains the in-process simulated cluster and
+// returns the canonical model.
+func simulatedCanonical(t *testing.T, d *Dataset, opts Options, cfg core.Config) *model.Model {
+	t.Helper()
+	tr, err := core.NewTrainer(cfg, d.Vocab, d.Neg, d.Corp, opts.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Canonical
+}
+
+// assertModelsIdentical compares every float bit-for-bit.
+func assertModelsIdentical(t *testing.T, label string, want, got *model.Model) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: nil model", label)
+	}
+	if want.VocabSize() != got.VocabSize() || want.Dim != got.Dim {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", label, want.VocabSize(), want.Dim, got.VocabSize(), got.Dim)
+	}
+	for i := range want.Emb.Data {
+		if want.Emb.Data[i] != got.Emb.Data[i] {
+			t.Fatalf("%s: embedding layer diverges at %d: %v vs %v", label, i, want.Emb.Data[i], got.Emb.Data[i])
+		}
+	}
+	for i := range want.Ctx.Data {
+		if want.Ctx.Data[i] != got.Ctx.Data[i] {
+			t.Fatalf("%s: training layer diverges at %d: %v vs %v", label, i, want.Ctx.Data[i], got.Ctx.Data[i])
+		}
+	}
+}
+
+// TestEnginesOverTCPMatchSimulation is the tentpole's keystone: four
+// free-running single-host engines over localhost TCP sockets must
+// produce an embedding byte-identical to the lockstep in-process
+// simulation at the same seeds, in every synchronisation mode.
+func TestEnginesOverTCPMatchSimulation(t *testing.T) {
+	opts := distTestOpts()
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []gluon.Mode{gluon.RepModelOpt, gluon.PullModel, gluon.RepModelNaive}
+	if raceEnabled {
+		// The engine/transport concurrency under test is identical in
+		// every mode; one suffices for the (much slower) race lane.
+		modes = modes[:1]
+	}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := distTestConfig(opts, mode)
+			want := simulatedCanonical(t, d, opts, cfg)
+
+			trs, err := gluon.NewTCPCluster(cfg.Hosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results := make([]*core.DistributedResult, cfg.Hosts)
+			errs := make([]error, cfg.Hosts)
+			var wg sync.WaitGroup
+			for h := 0; h < cfg.Hosts; h++ {
+				wg.Add(1)
+				go func(h int) {
+					defer wg.Done()
+					// Closing on exit lets an errored host's peers fail
+					// via connection loss instead of blocking forever.
+					defer trs[h].Close()
+					results[h], errs[h] = core.RunDistributed(cfg, h, trs[h], d.Vocab, d.Neg, d.Corp, opts.Dim, nil)
+				}(h)
+			}
+			wg.Wait()
+			for h, err := range errs {
+				if err != nil {
+					t.Fatalf("host %d: %v", h, err)
+				}
+			}
+			for h := 1; h < cfg.Hosts; h++ {
+				if results[h].Canonical != nil {
+					t.Errorf("host %d returned a canonical model; only rank 0 gathers", h)
+				}
+			}
+			assertModelsIdentical(t, mode.String(), want, results[0].Canonical)
+			if results[0].Engine.Train.Pairs == 0 {
+				t.Error("rank 0 trained no pairs")
+			}
+		})
+	}
+}
+
+// workerEnv are the variables the re-exec'd worker reads.
+const (
+	envWorkerRank  = "GW2V_WORKER_RANK"
+	envWorkerPeers = "GW2V_WORKER_PEERS"
+	envWorkerOut   = "GW2V_WORKER_OUT"
+	envWorkerMode  = "GW2V_WORKER_MODE"
+)
+
+// runWorkerProcess is the body of one re-exec'd worker: regenerate the
+// deterministic dataset, join the TCP mesh, train, and (on rank 0)
+// write the gathered canonical model.
+func runWorkerProcess() error {
+	rank, err := strconv.Atoi(os.Getenv(envWorkerRank))
+	if err != nil {
+		return fmt.Errorf("bad %s: %w", envWorkerRank, err)
+	}
+	peers := strings.Split(os.Getenv(envWorkerPeers), ",")
+	mode, err := gluon.ParseMode(os.Getenv(envWorkerMode))
+	if err != nil {
+		return err
+	}
+	opts := distTestOpts()
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		return err
+	}
+	cfg := distTestConfig(opts, mode)
+	tr, err := gluon.DialMesh(gluon.MeshConfig{
+		Rank:     rank,
+		Peers:    peers,
+		Checksum: cfg.Checksum(d.Vocab.Size(), d.Corp.Len(), opts.Dim),
+		Timeout:  20 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	res, err := core.RunDistributed(cfg, rank, tr, d.Vocab, d.Neg, d.Corp, opts.Dim, nil)
+	if err != nil {
+		return err
+	}
+	if res.Canonical != nil {
+		return res.Canonical.SaveFile(os.Getenv(envWorkerOut))
+	}
+	return nil
+}
+
+// TestMultiProcessMatchesSimulation launches four real OS processes
+// (re-execs of this test binary) that bootstrap a TCP mesh over
+// loopback, train, and gather onto rank 0 — whose written model must be
+// byte-identical to the in-process simulation.
+func TestMultiProcessMatchesSimulation(t *testing.T) {
+	opts := distTestOpts()
+	d, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := gluon.RepModelOpt
+	cfg := distTestConfig(opts, mode)
+	want := simulatedCanonical(t, d, opts, cfg)
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, cfg.Hosts)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	outPath := filepath.Join(t.TempDir(), "canonical.bin")
+
+	cmds := make([]*exec.Cmd, cfg.Hosts)
+	outputs := make([]strings.Builder, cfg.Hosts)
+	for r := 0; r < cfg.Hosts; r++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			envWorkerRank+"="+strconv.Itoa(r),
+			envWorkerPeers+"="+strings.Join(addrs, ","),
+			envWorkerOut+"="+outPath,
+			envWorkerMode+"="+mode.String(),
+		)
+		cmd.Stdout = &outputs[r]
+		cmd.Stderr = &outputs[r]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start rank %d: %v", r, err)
+		}
+		cmds[r] = cmd
+	}
+	deadline := time.After(90 * time.Second)
+	waitErrs := make(chan error, cfg.Hosts)
+	for _, cmd := range cmds {
+		go func(cmd *exec.Cmd) { waitErrs <- cmd.Wait() }(cmd)
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		select {
+		case err := <-waitErrs:
+			if err != nil {
+				for r := range cmds {
+					t.Logf("rank %d output:\n%s", r, outputs[r].String())
+				}
+				t.Fatalf("worker exited with %v", err)
+			}
+		case <-deadline:
+			for _, cmd := range cmds {
+				cmd.Process.Kill()
+			}
+			for r := range cmds {
+				t.Logf("rank %d output:\n%s", r, outputs[r].String())
+			}
+			t.Fatal("workers did not finish within 90s")
+		}
+	}
+
+	got, err := model.LoadFile(outPath)
+	if err != nil {
+		t.Fatalf("rank 0 wrote no model: %v", err)
+	}
+	assertModelsIdentical(t, "multi-process", want, got)
+}

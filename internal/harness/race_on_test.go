@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in.
+// Race-instrumented SGNS training is ~20× slower, so the distributed
+// byte-identity tests shrink their coverage (one sync mode instead of
+// three) under -race; the full matrix runs in the plain lane.
+const raceEnabled = true

@@ -1,0 +1,9 @@
+//go:build race
+
+package sgns
+
+// raceEnabled reports whether the race detector is compiled in. Hogwild
+// training is deliberately lock-free (word2vec's design: concurrent
+// unsynchronized model updates are benign for SGD convergence), so tests
+// that run multiple compute threads skip under -race.
+const raceEnabled = true
