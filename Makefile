@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt-check fmt
+.PHONY: all build test test-short vet fmt-check fmt docs-check
 
-all: fmt-check vet build test-short
+all: fmt-check vet docs-check build test-short
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,7 @@ fmt-check:
 
 fmt:
 	gofmt -w .
+
+# Every *.md referenced from Go comments or Markdown links must exist.
+docs-check:
+	@sh scripts/docs_check.sh

@@ -239,3 +239,26 @@ func BenchmarkAblationIntraHost(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGraphSync runs the graph (random-walk) workload under all
+// three synchronisation schemes (DESIGN.md §5 choice 5), reporting the
+// trained embedding's community purity and the sparse scheme's volume
+// relative to dense.
+func BenchmarkGraphSync(b *testing.B) {
+	opts := benchOpts(b, 4, 4)
+	var purity, ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.GraphSync(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mode.String() == "RepModel-Opt" {
+				purity = r.Acc.Purity
+				ratio = r.RatioToNaive
+			}
+		}
+	}
+	b.ReportMetric(purity, "community-purity")
+	b.ReportMetric(ratio, "opt-vs-naive-volume")
+}

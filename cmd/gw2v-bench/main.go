@@ -21,7 +21,7 @@ import (
 )
 
 var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
-	"ablation-combiners", "ablation-sparsity", "ablation-threads"}
+	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync"}
 
 func main() {
 	log.SetFlags(0)
@@ -88,6 +88,7 @@ func main() {
 	run("ablation-combiners", func() error { _, err := harness.AblationCombiners(opts); return err })
 	run("ablation-sparsity", func() error { _, err := harness.AblationSparsity(opts); return err })
 	run("ablation-threads", func() error { _, err := harness.AblationIntraHost(opts, nil); return err })
+	run("graph-sync", func() error { _, err := harness.GraphSync(opts); return err })
 
 	for name := range want {
 		log.Fatalf("unknown experiment %q (valid: %s)", name, strings.Join(experiments, ", "))

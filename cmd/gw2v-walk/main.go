@@ -1,0 +1,143 @@
+// Command gw2v-walk trains DeepWalk-style vertex embeddings — the graph
+// instance of the Any2Vec pattern (DESIGN.md §6): truncated random walks
+// over a graph feed the same distributed SGNS engine that gw2v-train
+// runs on text, with all three synchronisation schemes available.
+//
+// Train on a synthetic planted-community graph and report quality
+// against the planted structure:
+//
+//	gw2v-walk -preset tiny -hosts 4 -model vertices.bin
+//
+// Or on your own whitespace-separated edge list ("u v" or "u v weight"
+// per line, '#' comments):
+//
+//	gw2v-walk -graph edges.txt -hosts 8 -neighbors some_vertex
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"graphword2vec/internal/cliutil"
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/eval"
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/harness"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/sgns"
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/walk"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-walk: ")
+	var (
+		graphPath = flag.String("graph", "", "edge-list path ('u v [weight]' per line)")
+		preset    = flag.String("preset", "", "synthetic community graph scale: tiny, small, full")
+		directed  = flag.Bool("directed", false, "treat the edge list as directed")
+		modelPath = flag.String("model", "vertices.bin", "output model path")
+		hosts     = flag.Int("hosts", 4, "simulated hosts")
+		epochs    = flag.Int("epochs", 8, "training epochs (walk passes)")
+		dim       = flag.Int("dim", 0, "embedding dimensionality (0 = scale default for presets, 48 for files)")
+		alpha     = flag.Float64("alpha", 0.025, "initial learning rate")
+		window    = flag.Int("window", 5, "context window over walk positions")
+		negatives = flag.Int("negatives", 5, "negative samples per pair")
+		walkLen   = flag.Int("walk-length", 0, "vertices per walk (0 = default)")
+		walksPer  = flag.Int("walks-per-vertex", 0, "walks per start vertex per epoch (0 = default)")
+		combiner  = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
+		modeStr   = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		neighbors = flag.String("neighbors", "", "print the nearest neighbours of this vertex after training")
+		k         = flag.Int("k", 10, "neighbour count for -neighbors")
+	)
+	flag.Parse()
+	if (*graphPath == "") == (*preset == "") {
+		log.Fatal("exactly one of -graph or -preset is required")
+	}
+	mode, err := gluon.ParseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wcfg := walk.DefaultConfig()
+	if *walkLen > 0 {
+		wcfg.WalkLength = *walkLen
+	}
+	if *walksPer > 0 {
+		wcfg.WalksPerVertex = *walksPer
+	}
+
+	gi, err := harness.LoadGraphInput(*preset, *graphPath, *directed, wcfg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	voc, walker, gd := gi.Vocab, gi.Walker, gi.Dataset
+	if *dim == 0 {
+		*dim = gi.DefaultDim
+	}
+	if gd != nil {
+		fmt.Printf("preset %s: %d vertices, %d communities, %d training edges\n",
+			gd.Name, gd.Cfg.NumVertices(), gd.Cfg.Communities, walker.Graph().NumEdges())
+	} else {
+		fmt.Printf("graph %s: %d vertices, %d edges\n", *graphPath, walker.Graph().NumVertices(), walker.Graph().NumEdges())
+	}
+
+	neg, err := vocab.NewUnigramTable(voc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig(*hosts)
+	cfg.Epochs = *epochs
+	cfg.Alpha = float32(*alpha)
+	cfg.Params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: wcfg.WalkLength}
+	cfg.CombinerName = *combiner
+	cfg.Mode = mode
+	cfg.Seed = *seed
+
+	start := time.Now()
+	tr, err := core.NewTrainer(cfg, voc, neg, walker, *dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d pairs on %d hosts (%s, %s) in %s; %s communicated\n",
+		res.Train.Pairs, *hosts, *combiner, mode, time.Since(start).Round(time.Millisecond),
+		cliutil.FormatBytes(res.Comm.TotalBytes()))
+
+	if gd != nil {
+		acc, err := gd.Evaluate(res.Canonical)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("community neighbour purity %.3f (base rate %.3f), link-prediction AUC %.3f\n",
+			acc.Purity, 1/float64(gd.Cfg.Communities), acc.AUC)
+	}
+	if *neighbors != "" {
+		printNeighbors(res.Canonical, voc, *neighbors, *k)
+	}
+
+	if err := res.Canonical.SaveFile(*modelPath); err != nil {
+		log.Fatal(err)
+	}
+	if err := cliutil.SaveVocabSidecar(*modelPath, voc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved model to %s\n", *modelPath)
+}
+
+// printNeighbors lists the k most cosine-similar vertices.
+func printNeighbors(m *model.Model, voc *vocab.Vocabulary, vertex string, k int) {
+	nn, err := eval.NearestNeighbors(m, voc, vertex, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nearest neighbours of %s:\n", vertex)
+	for _, n := range nn {
+		fmt.Printf("  %-16s %.3f\n", n.Word, n.Similarity)
+	}
+}

@@ -1,10 +1,15 @@
 // Command gw2v-worker runs one host of a real multi-process
 // GraphWord2Vec cluster over TCP. Launch one worker per host with the
-// same corpus, the same flags, and the same -peers list; each worker's
+// same workload, the same flags, and the same -peers list; each worker's
 // -rank selects its position. Rank 0 gathers the canonical model at the
 // end and writes it to -model.
 //
-// A 4-process cluster on one machine:
+// Two workloads share the engine (the Any2Vec seam, DESIGN.md §6):
+// "text" trains word embeddings from a shared corpus file, "graph"
+// trains DeepWalk-style vertex embeddings from random walks over a
+// shared edge list (-graph) or a synthetic community graph (-preset).
+//
+// A 4-process text cluster on one machine:
 //
 //	PEERS=127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 //	for r in 0 1 2 3; do
@@ -12,8 +17,16 @@
 //	done
 //	wait
 //
+// The same cluster on the graph workload:
+//
+//	for r in 0 1 2 3; do
+//	  gw2v-worker -workload graph -preset tiny -rank $r -peers $PEERS -model vertices.bin &
+//	done
+//	wait
+//
 // With ThreadsPerHost (-threads) left at 1 the result is bit-identical
-// to `gw2v-train -hosts N` on the same corpus, seed and mode.
+// to the corresponding simulated-cluster run (gw2v-train -hosts N for
+// text, gw2v-walk -hosts N for graphs) at the same seed and flags.
 package main
 
 import (
@@ -28,26 +41,41 @@ import (
 	"graphword2vec/internal/core"
 	"graphword2vec/internal/corpus"
 	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/harness"
 	"graphword2vec/internal/sgns"
 	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/walk"
 )
+
+// applyDefault resolves a sentinel-valued flag to its workload default.
+func applyDefault(flagVal *int, sentinel, def int) {
+	if *flagVal == sentinel {
+		*flagVal = def
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gw2v-worker: ")
 	var (
-		corpusPath  = flag.String("corpus", "", "training corpus path (required, identical on every rank)")
+		workload    = flag.String("workload", "text", "training workload: text or graph")
+		corpusPath  = flag.String("corpus", "", "text workload: training corpus path (identical on every rank)")
+		graphPath   = flag.String("graph", "", "graph workload: edge-list path (identical on every rank)")
+		preset      = flag.String("preset", "", "graph workload: synthetic community graph scale (tiny, small, full)")
+		directed    = flag.Bool("directed", false, "graph workload: treat the edge list as directed")
+		walkLen     = flag.Int("walk-length", 0, "graph workload: vertices per walk (0 = default)")
+		walksPer    = flag.Int("walks-per-vertex", 0, "graph workload: walks per start vertex per epoch (0 = default)")
 		rank        = flag.Int("rank", -1, "this worker's host id in [0, hosts) (required)")
 		peersCSV    = flag.String("peers", "", "comma-separated host:port list, one per rank (required)")
 		listenAddr  = flag.String("listen", "", "bind address override (default: the -peers entry for this rank)")
 		modelPath   = flag.String("model", "model.bin", "output model path (written by rank 0)")
-		dim         = flag.Int("dim", 48, "embedding dimensionality")
-		epochs      = flag.Int("epochs", 16, "training epochs")
+		dim         = flag.Int("dim", 0, "embedding dimensionality (0 = workload default: 48 for text, the preset's scale default or 48 for graphs)")
+		epochs      = flag.Int("epochs", 0, "training epochs (0 = workload default: 16 for text, 8 for graphs)")
 		alpha       = flag.Float64("alpha", 0.025, "initial learning rate")
 		window      = flag.Int("window", 5, "context window")
-		negatives   = flag.Int("negatives", 15, "negative samples per pair")
-		minCount    = flag.Int("min-count", 5, "drop words with fewer occurrences")
-		sample      = flag.Float64("sample", 1e-4, "frequent-word subsampling threshold (0 = off)")
+		negatives   = flag.Int("negatives", -1, "negative samples per pair (-1 = workload default: 15 for text, 5 for graphs)")
+		minCount    = flag.Int("min-count", 5, "text workload: drop words with fewer occurrences")
+		sample      = flag.Float64("sample", 1e-4, "text workload: frequent-word subsampling threshold (0 = off)")
 		threads     = flag.Int("threads", 1, "Hogwild threads on this host (>1 sacrifices bit-determinism)")
 		syncRounds  = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
 		combiner    = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
@@ -57,9 +85,6 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
 	)
 	flag.Parse()
-	if *corpusPath == "" {
-		log.Fatal("-corpus is required")
-	}
 	if *peersCSV == "" {
 		log.Fatal("-peers is required")
 	}
@@ -73,39 +98,92 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Every rank derives vocabulary and token stream from the shared
-	// corpus file; both passes are deterministic, so all ranks agree on
-	// word ids and the token-space shard boundaries without any wire
-	// traffic. The engine takes this rank's contiguous shard itself.
-	builder, err := corpus.CountFile(*corpusPath)
-	if err != nil {
-		log.Fatal(err)
+	// Every rank derives the workload locally and deterministically — the
+	// text corpus or edge list is a shared file, the synthetic graph a
+	// shared seed — so all ranks agree on node ids and shard boundaries
+	// without any wire traffic. The checksum exchanged during the mesh
+	// handshake guards against divergent derivations.
+	var (
+		voc    *vocab.Vocabulary
+		src    corpus.SequenceSource
+		params sgns.Params
+		extra  []uint64
+	)
+	switch *workload {
+	case "text":
+		if *corpusPath == "" {
+			log.Fatal("-corpus is required for the text workload")
+		}
+		applyDefault(epochs, 0, 16)
+		applyDefault(dim, 0, 48)
+		applyDefault(negatives, -1, 15)
+		builder, err := corpus.CountFile(*corpusPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		voc, err = builder.Build(vocab.Options{MinCount: int64(*minCount), Sample: *sample})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(*corpusPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corp, err := corpus.Load(f, voc)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = corp
+		params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: 10000}
+		// Fold the vocabulary options into the fingerprint: -sample in
+		// particular changes every subsampling decision without changing
+		// the vocabulary size or token count.
+		extra = []uint64{0, math.Float64bits(*sample), uint64(*minCount)}
+		if !*quiet {
+			log.Printf("rank %d/%d: vocabulary %d words, corpus %d tokens", *rank, hosts, voc.Size(), src.Len())
+		}
+	case "graph":
+		wcfg := walk.DefaultConfig()
+		if *walkLen > 0 {
+			wcfg.WalkLength = *walkLen
+		}
+		if *walksPer > 0 {
+			wcfg.WalksPerVertex = *walksPer
+		}
+		// harness.LoadGraphInput is the same resolution gw2v-walk uses,
+		// which is what keeps the two binaries bit-comparable at equal
+		// flags; the workload defaults below match gw2v-walk's too.
+		gi, err := harness.LoadGraphInput(*preset, *graphPath, *directed, wcfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		applyDefault(epochs, 0, 8)
+		applyDefault(dim, 0, gi.DefaultDim)
+		applyDefault(negatives, -1, 5)
+		voc, src = gi.Vocab, gi.Walker
+		params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: wcfg.WalkLength}
+		g := gi.Walker.Graph()
+		// The structure fingerprint covers graph *content*: two edge
+		// lists with equal vertex/edge counts but a differing edge or
+		// weight still fail the handshake.
+		extra = []uint64{1, uint64(wcfg.WalkLength), uint64(wcfg.WalksPerVertex), g.Fingerprint()}
+		if !*quiet {
+			log.Printf("rank %d/%d: graph of %d vertices / %d edges, %d walk tokens per epoch",
+				*rank, hosts, g.NumVertices(), g.NumEdges(), src.Len())
+		}
+	default:
+		log.Fatalf("unknown -workload %q (want text or graph)", *workload)
 	}
-	voc, err := builder.Build(vocab.Options{MinCount: int64(*minCount), Sample: *sample})
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	neg, err := vocab.NewUnigramTable(voc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Open(*corpusPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	corp, err := corpus.Load(f, voc)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !*quiet {
-		log.Printf("rank %d/%d: vocabulary %d words, corpus %d tokens", *rank, hosts, voc.Size(), corp.Len())
-	}
-
 	cfg := core.DefaultConfig(hosts)
 	cfg.Epochs = *epochs
 	cfg.Alpha = float32(*alpha)
-	cfg.Params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: 10000}
+	cfg.Params = params
 	cfg.CombinerName = *combiner
 	cfg.Mode = mode
 	cfg.Seed = *seed
@@ -114,14 +192,11 @@ func main() {
 		cfg.SyncRounds = *syncRounds
 	}
 
-	// Fold the vocabulary options into the fingerprint too: -sample in
-	// particular changes every subsampling decision without changing the
-	// vocabulary size or token count.
 	tr, err := gluon.DialMesh(gluon.MeshConfig{
 		Rank:     *rank,
 		Peers:    peers,
 		Listen:   *listenAddr,
-		Checksum: cfg.Checksum(voc.Size(), corp.Len(), *dim, math.Float64bits(*sample), uint64(*minCount)),
+		Checksum: cfg.Checksum(voc.Size(), src.Len(), *dim, extra...),
 		Timeout:  *dialTimeout,
 	})
 	if err != nil {
@@ -139,7 +214,7 @@ func main() {
 		}
 	}
 	start := time.Now()
-	res, err := core.RunDistributed(cfg, *rank, tr, voc, neg, corp, *dim, onEpoch)
+	res, err := core.RunDistributed(cfg, *rank, tr, voc, neg, src, *dim, onEpoch)
 	if err != nil {
 		log.Fatal(err)
 	}

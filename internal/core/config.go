@@ -3,11 +3,13 @@
 // problem over a Gluon-style bulk-synchronous substrate (Algorithm 1).
 //
 // Every host holds a full replica of the model (one proxy per vocabulary
-// node), owns a contiguous shard of the training corpus (its worklist),
-// and alternates compute rounds (the SGNS operator applied Hogwild-style
-// to the round's worklist chunk) with synchronisation rounds in which
-// per-node model deltas flow mirrors → master, are combined with the
-// model-combiner reduction, and flow back master → mirrors.
+// node), owns a contiguous shard of the training sequences (its worklist
+// — text-corpus tokens or graph random walks; see corpus.SequenceSource
+// and DESIGN.md §6), and alternates compute rounds (the SGNS operator
+// applied Hogwild-style to the round's worklist chunk) with
+// synchronisation rounds in which per-node model deltas flow mirrors →
+// master, are combined with the model-combiner reduction, and flow back
+// master → mirrors.
 //
 // The cluster is simulated in-process: hosts are goroutines exchanging
 // real serialized messages through the gluon substrate. Compute time is

@@ -65,12 +65,12 @@ type DistributedResult struct {
 // engine's full training loop, gather the canonical model onto rank 0,
 // and barrier on finish so no process tears its connections down while
 // peers still depend on them. Every participating process must call
-// this with identical cfg, vocabulary, corpus and dim — see
+// this with identical cfg, vocabulary, sequence source and dim — see
 // Config.Checksum for the guard. onEpoch, if non-nil, receives this
 // host's per-epoch counters.
-func RunDistributed(cfg Config, rank int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int,
+func RunDistributed(cfg Config, rank int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int,
 	onEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)) (*DistributedResult, error) {
-	eng, err := NewEngine(cfg, rank, tr, voc, neg, corp, dim)
+	eng, err := NewEngine(cfg, rank, tr, voc, neg, src, dim)
 	if err != nil {
 		return nil, err
 	}

@@ -41,13 +41,12 @@ type Engine struct {
 	dim  int
 
 	voc     *vocab.Vocabulary
-	corp    *corpus.Corpus
+	src     corpus.SequenceSource
 	part    *graph.Partition
 	local   *model.Model
 	base    *model.Model
 	sync    *gluon.HostSync
 	trainer *sgns.Trainer
-	shard   corpus.Shard
 
 	// epochTokens caches the (possibly shuffled) worklist per epoch;
 	// only the current and next epoch are retained.
@@ -63,44 +62,46 @@ type Engine struct {
 
 // validateInputs checks the data a training run needs, shared by
 // NewTrainer and NewEngine.
-func validateInputs(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int) error {
+func validateInputs(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	if voc == nil || neg == nil || corp == nil {
-		return errors.New("core: vocabulary, unigram table and corpus are required")
+	if voc == nil || neg == nil || src == nil {
+		return errors.New("core: vocabulary, unigram table and sequence source are required")
 	}
 	if voc.Size() == 0 {
 		return errors.New("core: empty vocabulary")
 	}
-	if corp.Len() == 0 {
-		return errors.New("core: empty corpus")
+	if src.Len() == 0 {
+		return errors.New("core: empty sequence source")
 	}
 	if dim <= 0 {
 		return fmt.Errorf("core: dim must be positive, got %d", dim)
 	}
-	if corp.Len() < cfg.Hosts {
-		return fmt.Errorf("core: corpus of %d tokens cannot be sharded across %d hosts", corp.Len(), cfg.Hosts)
+	if src.Len() < cfg.Hosts {
+		return fmt.Errorf("core: source of %d tokens cannot be sharded across %d hosts", src.Len(), cfg.Hosts)
 	}
 	return nil
 }
 
 // NewEngine builds the engine for host `host` of a cfg.Hosts-wide
 // cluster on transport tr. Every host must construct its engine from the
-// same configuration, vocabulary, corpus and dimensionality: the initial
-// replica is derived from cfg.Seed (standing in for an initial
-// broadcast) and the corpus is sharded deterministically, so identical
-// inputs are what make replicas and worklists agree across hosts.
-func NewEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int) (*Engine, error) {
-	return newEngine(cfg, host, tr, voc, neg, corp, dim, nil, nil)
+// same configuration, vocabulary, sequence source and dimensionality:
+// the initial replica is derived from cfg.Seed (standing in for an
+// initial broadcast) and the source is sharded deterministically, so
+// identical inputs are what make replicas and worklists agree across
+// hosts. src is any corpus.SequenceSource — a text *corpus.Corpus or a
+// walk.Walker over a graph (the Any2Vec seam, DESIGN.md §6).
+func NewEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int) (*Engine, error) {
+	return newEngine(cfg, host, tr, voc, neg, src, dim, nil, nil)
 }
 
 // newEngine optionally reuses a pre-built initial replica and partition
 // so the simulated trainer pays the O(V·dim) random init once instead
 // of once per host. init, when non-nil, must equal a fresh
 // InitRandom(cfg.Seed) model; it is cloned, never retained.
-func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int, init *model.Model, part *graph.Partition) (*Engine, error) {
-	if err := validateInputs(cfg, voc, neg, corp, dim); err != nil {
+func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int, init *model.Model, part *graph.Partition) (*Engine, error) {
+	if err := validateInputs(cfg, voc, neg, src, dim); err != nil {
 		return nil, err
 	}
 	if host < 0 || host >= cfg.Hosts {
@@ -143,13 +144,12 @@ func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, 
 		host:        host,
 		dim:         dim,
 		voc:         voc,
-		corp:        corp,
+		src:         src,
 		part:        part,
 		local:       local,
 		base:        base,
 		sync:        hs,
 		trainer:     st,
-		shard:       corp.Split(cfg.Hosts)[host],
 		epochTokens: make(map[int][]int32),
 		touched:     bitset.New(voc.Size()),
 		access:      bitset.New(voc.Size()),
@@ -290,16 +290,15 @@ func (e *Engine) finishEpoch(epoch int) (train sgns.Stats, comm gluon.Stats) {
 }
 
 // roundChunk returns this host's worklist chunk for (epoch, round),
-// materialising (and caching) the epoch's shuffled shard on first use.
+// materialising (and caching) the epoch's worklist from the sequence
+// source on first use. The source's generator is derived from
+// (Seed, epoch, host) only, so the simulated and TCP execution modes
+// materialise identical worklists.
 func (e *Engine) roundChunk(epoch, round int) []int32 {
 	tokens, ok := e.epochTokens[epoch]
 	if !ok {
-		if e.cfg.ShuffleEachEpoch {
-			r := xrand.New(e.shuffleSeed(epoch))
-			tokens = e.corp.Shuffled(e.shard, e.cfg.Params.MaxSentenceLength, r)
-		} else {
-			tokens = e.corp.Tokens[e.shard.Start:e.shard.End]
-		}
+		r := xrand.New(e.shuffleSeed(epoch))
+		tokens = e.src.HostEpochTokens(e.host, e.cfg.Hosts, epoch, e.cfg.ShuffleEachEpoch, e.cfg.Params.MaxSentenceLength, r)
 		e.epochTokens[epoch] = tokens
 	}
 	s := e.cfg.SyncRounds
@@ -315,7 +314,8 @@ func (e *Engine) computeSeed(epoch, round, thread int) uint64 {
 	return mixSeed(e.cfg.Seed, 0xC0FFEE, uint64(epoch), uint64(round), uint64(e.host), uint64(thread))
 }
 
-// shuffleSeed derives the per-epoch, per-host worklist shuffle seed.
+// shuffleSeed derives the per-epoch, per-host seed driving the sequence
+// source (worklist shuffling for text, walk sampling for graphs).
 func (e *Engine) shuffleSeed(epoch int) uint64 {
 	return mixSeed(e.cfg.Seed, 0x5EED, uint64(epoch), uint64(e.host))
 }

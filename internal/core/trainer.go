@@ -18,11 +18,11 @@ import (
 // over TCP (see RunDistributed); with ThreadsPerHost == 1 the two paths
 // produce bit-identical models.
 type Trainer struct {
-	cfg  Config
-	voc  *vocab.Vocabulary
-	neg  *vocab.UnigramTable
-	corp *corpus.Corpus
-	dim  int
+	cfg Config
+	voc *vocab.Vocabulary
+	neg *vocab.UnigramTable
+	src corpus.SequenceSource
+	dim int
 
 	// SequentialCompute runs host compute phases one after another so
 	// per-host timings are uncontended (the experiment harness sets
@@ -33,12 +33,13 @@ type Trainer struct {
 }
 
 // NewTrainer validates the configuration against the data and returns a
-// Trainer. dim is the embedding dimensionality.
-func NewTrainer(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, corp *corpus.Corpus, dim int) (*Trainer, error) {
-	if err := validateInputs(cfg, voc, neg, corp, dim); err != nil {
+// Trainer. src is any corpus.SequenceSource (a text corpus, a random-walk
+// generator, ...); dim is the embedding dimensionality.
+func NewTrainer(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int) (*Trainer, error) {
+	if err := validateInputs(cfg, voc, neg, src, dim); err != nil {
 		return nil, err
 	}
-	return &Trainer{cfg: cfg, voc: voc, neg: neg, corp: corp, dim: dim}, nil
+	return &Trainer{cfg: cfg, voc: voc, neg: neg, src: src, dim: dim}, nil
 }
 
 // Run executes the configured training and returns measurements plus the
@@ -59,7 +60,7 @@ func (t *Trainer) Run() (*Result, error) {
 	init.InitRandom(cfg.Seed)
 	engines := make([]*Engine, cfg.Hosts)
 	for h := 0; h < cfg.Hosts; h++ {
-		engines[h], err = newEngine(cfg, h, tr, t.voc, t.neg, t.corp, t.dim, init, part)
+		engines[h], err = newEngine(cfg, h, tr, t.voc, t.neg, t.src, t.dim, init, part)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,12 @@
 // A Corpus is a flat slice of vocabulary ids; sentence boundaries are cut
 // every MaxSentenceLength tokens exactly as word2vec.c does (the paper uses
 // a "sentence length of 10K", §5.1).
+//
+// The package also defines SequenceSource, the workload seam of the
+// paper's Any2Vec generalisation (§6): the training engine consumes any
+// source of per-host token sequences, of which a text Corpus is one
+// implementation and internal/walk's random-walk generator is another.
+// See DESIGN.md §6.
 package corpus
 
 import (
@@ -23,6 +29,33 @@ import (
 
 // DefaultMaxSentenceLength is the paper's sentence-length parameter (10k).
 const DefaultMaxSentenceLength = 10000
+
+// SequenceSource abstracts "something that yields training token
+// sequences" — the Any2Vec seam (paper §6): the SGNS kernel and the
+// Gluon-style synchronisation are indifferent to whether tokens come
+// from a text corpus (word co-occurrence) or from random walks over a
+// graph (vertex co-occurrence). internal/core trains any SequenceSource;
+// *Corpus implements it for text and walk.Walker for graphs.
+//
+// Determinism contract: HostEpochTokens must be a pure function of its
+// arguments and the source's immutable state. The engine derives r from
+// (Seed, epoch, host) only, and both execution modes — the simulated
+// in-process cluster and the real TCP cluster — call the source with
+// identical arguments, which is what keeps the two bit-identical.
+type SequenceSource interface {
+	// Len returns the total number of tokens one epoch yields across all
+	// hosts (for a generative source, an upper bound; exact for text).
+	// It is used for validation and sharding sanity checks only.
+	Len() int
+	// HostEpochTokens returns host's training worklist for one epoch of
+	// an hosts-wide cluster. Worklists of different hosts must be
+	// disjoint shards of the epoch's work. shuffle requests per-epoch
+	// randomisation of work order; maxSentence is the trainer's sentence
+	// cut length (sources may ignore either). All randomness must be
+	// drawn from r. The returned slice is owned by the engine until the
+	// epoch ends and must not be mutated by the source afterwards.
+	HostEpochTokens(host, hosts, epoch int, shuffle bool, maxSentence int, r *xrand.Rand) []int32
+}
 
 // Corpus is an in-memory sequence of vocabulary ids. Out-of-vocabulary
 // tokens are dropped at load time, matching word2vec.c.
@@ -151,6 +184,19 @@ func Load(rd io.Reader, v *vocab.Vocabulary) (*Corpus, error) {
 // FromIDs wraps an id slice as a Corpus (used by the synthetic generator,
 // which produces ids directly). The slice is not copied.
 func FromIDs(ids []int32) *Corpus { return &Corpus{Tokens: ids} }
+
+// HostEpochTokens implements SequenceSource for text: host h's worklist is
+// its contiguous shard of the corpus (paper §4.1), shuffled per epoch at
+// sentence granularity when requested.
+func (c *Corpus) HostEpochTokens(host, hosts, _ int, shuffle bool, maxSentence int, r *xrand.Rand) []int32 {
+	s := c.Split(hosts)[host]
+	if shuffle {
+		return c.Shuffled(s, maxSentence, r)
+	}
+	return c.Tokens[s.Start:s.End]
+}
+
+var _ SequenceSource = (*Corpus)(nil)
 
 // FileShard is a byte range [Start, End) of a corpus file assigned to one
 // host, aligned so that no token straddles a shard boundary.

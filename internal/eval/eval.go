@@ -1,9 +1,17 @@
-// Package eval implements the analogical-reasoning evaluation the paper
-// uses to measure model quality (§5.1): questions "A : B :: C : ?" are
+// Package eval measures embedding quality against each workload's
+// ground truth.
+//
+// For the text workload it implements the analogical-reasoning
+// evaluation the paper uses (§5.1): questions "A : B :: C : ?" are
 // answered by the vocabulary word whose embedding is closest (by cosine)
 // to vec(B) − vec(A) + vec(C), with the three query words excluded —
 // the protocol of word2vec's compute-accuracy tool. Accuracy is reported
 // per category and aggregated into semantic, syntactic, and total.
+//
+// For the graph workload (vertex embeddings from random walks) it scores
+// community nearest-neighbour purity and held-out link-prediction AUC
+// against a generator's planted structure — see graph.go and DESIGN.md
+// §6.
 package eval
 
 import (

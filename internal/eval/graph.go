@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vecmath"
+)
+
+// Graph-workload evaluation: where the text workload is scored by word
+// analogies, vertex embeddings trained from random walks (internal/walk)
+// are scored against the generator's planted structure — community
+// nearest-neighbour purity and held-out link-prediction AUC.
+
+// CommunityPurity returns the mean, over all vertices, of the fraction of
+// each vertex's k nearest neighbours (cosine over the embedding layer)
+// that share the vertex's community label. labels is indexed by
+// vocabulary id; a random embedding scores ≈ 1/communities, a perfect
+// community clustering scores 1.
+func CommunityPurity(m *model.Model, labels []int32, k int) (float64, error) {
+	if m.VocabSize() != len(labels) {
+		return 0, fmt.Errorf("eval: model has %d vertices, labels %d", m.VocabSize(), len(labels))
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("eval: k must be positive, got %d", k)
+	}
+	if k > m.VocabSize()-1 {
+		k = m.VocabSize() - 1
+	}
+	if k == 0 {
+		return 0, errors.New("eval: need at least 2 vertices")
+	}
+	normed := normalizedEmbeddings(m)
+	n := normed.Rows
+	workers := runtime.GOMAXPROCS(0)
+	purity := make([]float64, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Top-k by insertion into a small sorted buffer: fine for
+			// the k ≈ 10 regime this evaluation runs in.
+			type hit struct {
+				sim float32
+				id  int32
+			}
+			top := make([]hit, 0, k)
+			for v := w; v < n; v += workers {
+				top = top[:0]
+				row := normed.Row(v)
+				for u := 0; u < n; u++ {
+					if u == v {
+						continue
+					}
+					s := vecmath.Dot(row, normed.Row(u))
+					if len(top) == k && s <= top[k-1].sim {
+						continue
+					}
+					i := sort.Search(len(top), func(i int) bool { return top[i].sim < s })
+					if len(top) < k {
+						top = append(top, hit{})
+					}
+					copy(top[i+1:], top[i:])
+					top[i] = hit{sim: s, id: int32(u)}
+				}
+				same := 0
+				for _, h := range top {
+					if labels[h.id] == labels[v] {
+						same++
+					}
+				}
+				purity[v] = float64(same) / float64(len(top))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range purity {
+		sum += p
+	}
+	return sum / float64(n), nil
+}
+
+// LinkAUC returns the probability that a uniformly chosen positive pair
+// (a held-out edge) outscores a uniformly chosen negative pair (a
+// non-edge), scoring pairs by embedding cosine — the standard
+// link-prediction AUC. Ties count half. A random embedding scores ≈ 0.5.
+func LinkAUC(m *model.Model, pos, neg [][2]int32) (float64, error) {
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0, errors.New("eval: LinkAUC needs positive and negative pairs")
+	}
+	normed := normalizedEmbeddings(m)
+	score := func(p [2]int32) (float32, error) {
+		if p[0] < 0 || int(p[0]) >= normed.Rows || p[1] < 0 || int(p[1]) >= normed.Rows {
+			return 0, fmt.Errorf("eval: pair (%d,%d) out of range [0,%d)", p[0], p[1], normed.Rows)
+		}
+		return vecmath.Dot(normed.Row(int(p[0])), normed.Row(int(p[1]))), nil
+	}
+	type scored struct {
+		s   float32
+		pos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, p := range pos {
+		s, err := score(p)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, scored{s: s, pos: true})
+	}
+	for _, p := range neg {
+		s, err := score(p)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, scored{s: s, pos: false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	// Sum average ranks of positives (1-based; ties share the mean rank
+	// of their run), then AUC = (rankSum − P(P+1)/2) / (P·N).
+	var rankSum float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		meanRank := float64(i+j+1) / 2 // mean of ranks i+1 .. j
+		for t := i; t < j; t++ {
+			if all[t].pos {
+				rankSum += meanRank
+			}
+		}
+		i = j
+	}
+	p, n := float64(len(pos)), float64(len(neg))
+	return (rankSum - p*(p+1)/2) / (p * n), nil
+}

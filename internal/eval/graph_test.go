@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"graphword2vec/internal/model"
+)
+
+// clusteredModel returns a model whose first half points one way and
+// second half the opposite way, with a small per-vertex wiggle.
+func clusteredModel(n, dim int) *model.Model {
+	m := model.New(n, dim)
+	for v := 0; v < n; v++ {
+		row := m.EmbRow(int32(v))
+		sign := float32(1)
+		if v >= n/2 {
+			sign = -1
+		}
+		for d := range row {
+			row[d] = sign
+		}
+		row[0] += 0.01 * float32(v) // break ties deterministically
+	}
+	return m
+}
+
+func twoBlockLabels(n int) []int32 {
+	labels := make([]int32, n)
+	for v := n / 2; v < n; v++ {
+		labels[v] = 1
+	}
+	return labels
+}
+
+func TestCommunityPurityPerfectClusters(t *testing.T) {
+	const n = 20
+	m := clusteredModel(n, 8)
+	purity, err := CommunityPurity(m, twoBlockLabels(n), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity != 1 {
+		t.Errorf("purity = %v, want 1 for perfectly separated clusters", purity)
+	}
+}
+
+func TestCommunityPurityMixedClusters(t *testing.T) {
+	// All embeddings identical up to the tie-breaker: neighbours are
+	// label-agnostic, so purity approaches the base rate 1/2.
+	const n = 40
+	m := model.New(n, 4)
+	for v := 0; v < n; v++ {
+		row := m.EmbRow(int32(v))
+		row[0] = 1
+		row[1] = 0.001 * float32(v)
+	}
+	// Interleave labels so id-adjacent vertices alternate communities.
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v % 2)
+	}
+	purity, err := CommunityPurity(m, labels, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity > 0.7 {
+		t.Errorf("purity = %v for label-agnostic embeddings, want ≈ 0.5", purity)
+	}
+}
+
+func TestCommunityPurityErrors(t *testing.T) {
+	m := model.New(4, 2)
+	if _, err := CommunityPurity(m, []int32{0, 1}, 2); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+	if _, err := CommunityPurity(m, []int32{0, 0, 1, 1}, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestLinkAUCSeparatesClusters(t *testing.T) {
+	const n = 20
+	m := clusteredModel(n, 8)
+	// Positives inside clusters, negatives across: cosine separates them
+	// completely.
+	var pos, neg [][2]int32
+	for i := 0; i < n/2-1; i++ {
+		pos = append(pos, [2]int32{int32(i), int32(i + 1)})
+		neg = append(neg, [2]int32{int32(i), int32(n - 1 - i)})
+	}
+	auc, err := LinkAUC(m, pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// Swapping positives and negatives inverts the score.
+	inv, err := LinkAUC(m, neg, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv != 0 {
+		t.Errorf("inverted AUC = %v, want 0", inv)
+	}
+}
+
+func TestLinkAUCTies(t *testing.T) {
+	// Identical embeddings: every pair scores the same, AUC must be 0.5.
+	m := model.New(6, 3)
+	for v := 0; v < 6; v++ {
+		copy(m.EmbRow(int32(v)), []float32{1, 2, 3})
+	}
+	auc, err := LinkAUC(m, [][2]int32{{0, 1}, {2, 3}}, [][2]int32{{4, 5}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("all-ties AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestLinkAUCErrors(t *testing.T) {
+	m := model.New(4, 2)
+	if _, err := LinkAUC(m, nil, [][2]int32{{0, 1}}); err == nil {
+		t.Error("empty positives accepted")
+	}
+	if _, err := LinkAUC(m, [][2]int32{{0, 9}}, [][2]int32{{0, 1}}); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}

@@ -1,8 +1,10 @@
 // Package harness regenerates every table and figure of the paper's
 // evaluation (§5) on the simulated cluster: workload generation, baseline
 // systems, parameter sweeps, and plain-text renderings of the same rows
-// and series the paper reports. See DESIGN.md §4 for the experiment index
-// and EXPERIMENTS.md for recorded paper-vs-measured results.
+// and series the paper reports — plus the graph (random-walk) workload
+// experiment demonstrating the Any2Vec seam (graphwork.go). See
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
 package harness
 
 import (

@@ -1,0 +1,86 @@
+package synth
+
+import "testing"
+
+func TestGenerateGraphDeterministic(t *testing.T) {
+	cfg := GraphPreset(ScaleTiny)
+	a, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestGenerateGraphShape(t *testing.T) {
+	cfg := GraphPreset(ScaleTiny)
+	d, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.NumVertices()
+	if len(d.Names) != n || len(d.Labels) != n {
+		t.Fatalf("names/labels %d/%d, want %d", len(d.Names), len(d.Labels), n)
+	}
+	// Expected degree is IntraDegree + InterDegree; the realised mean
+	// should be within a loose factor.
+	meanDeg := 2 * float64(len(d.Edges)) / float64(n)
+	want := cfg.IntraDegree + cfg.InterDegree
+	if meanDeg < want*0.7 || meanDeg > want*1.3 {
+		t.Errorf("mean degree %.1f, want ≈ %.1f", meanDeg, want)
+	}
+	// Edges must be dominated by intra-community pairs (assortativity).
+	intra := 0
+	for _, e := range d.Edges {
+		if d.Labels[e.U] == d.Labels[e.V] {
+			intra++
+		}
+	}
+	if frac := float64(intra) / float64(len(d.Edges)); frac < 0.7 {
+		t.Errorf("intra-community edge fraction %.2f, want > 0.7", frac)
+	}
+	for v := 0; v < n; v++ {
+		if want := int32(v / cfg.VerticesPerCommunity); d.Labels[v] != want {
+			t.Fatalf("label[%d] = %d, want %d", v, d.Labels[v], want)
+		}
+	}
+}
+
+func TestGraphPresetScales(t *testing.T) {
+	tiny := GraphPreset(ScaleTiny)
+	small := GraphPreset(ScaleSmall)
+	full := GraphPreset(ScaleFull)
+	if !(tiny.NumVertices() < small.NumVertices() && small.NumVertices() < full.NumVertices()) {
+		t.Errorf("vertex counts not increasing: %d, %d, %d",
+			tiny.NumVertices(), small.NumVertices(), full.NumVertices())
+	}
+	for _, cfg := range []GraphConfig{tiny, small, full} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestGraphConfigValidate(t *testing.T) {
+	bad := []GraphConfig{
+		{Communities: 1, VerticesPerCommunity: 10, IntraDegree: 5},
+		{Communities: 4, VerticesPerCommunity: 1, IntraDegree: 5},
+		{Communities: 4, VerticesPerCommunity: 10, IntraDegree: 0},
+		{Communities: 4, VerticesPerCommunity: 10, IntraDegree: 5, InterDegree: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,6 +1,9 @@
-// Package synth generates the synthetic training corpora and analogy
-// question sets that stand in for the paper's datasets (1-billion, news,
-// wiki — see DESIGN.md §2 for the substitution argument).
+// Package synth generates the synthetic workloads the experiment
+// harness trains on: text corpora with planted analogy structure that
+// stand in for the paper's datasets (1-billion, news, wiki — see
+// DESIGN.md §2 for the substitution argument), matching analogy question
+// sets, and planted-community graphs for the random-walk workload
+// (graph.go).
 //
 // The generator plants a compositional latent structure: a vocabulary of
 // "structured" words indexed by (group, attribute) whose latent vector is

@@ -7,7 +7,9 @@
 // (paper §2.1/§4.2): each unique word becomes one node, identified by its
 // id, and every host builds an identical vocabulary by streaming the corpus
 // once. Ids are assigned in decreasing frequency order (the word2vec.c
-// convention), which keeps hot rows of the model clustered.
+// convention), which keeps hot rows of the model clustered. The graph
+// workload reuses the same machinery with vertices as "words" counted by
+// degree (walk.BuildVocabGraph).
 package vocab
 
 import (

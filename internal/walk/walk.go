@@ -1,0 +1,399 @@
+// Package walk implements DeepWalk-style random-walk sequence generation
+// over a vertex graph — the second first-class workload of the Any2Vec
+// generalisation (paper §6, DESIGN.md §6): truncated random walks turn a
+// graph into "sentences" of vertex ids, and the unchanged SGNS kernel
+// plus Gluon-style synchronisation then learn vertex embeddings exactly
+// as they learn word embeddings from text.
+//
+// A Graph is a CSR adjacency with one alias sampler (xrand.Alias) per
+// vertex, so weighted neighbor transitions cost O(1) per step. A Walker
+// wraps a Graph with walk hyper-parameters and implements
+// corpus.SequenceSource: each host of a cluster walks only the start
+// vertices in its contiguous master range, and every random choice is
+// drawn from the engine-supplied, (Seed, epoch, host)-derived generator,
+// so the simulated cluster and the real TCP cluster materialise
+// bit-identical worklists.
+package walk
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphword2vec/internal/corpus"
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/xrand"
+)
+
+// Edge is one weighted edge between vertices identified by dense ids
+// (indices into a caller-side names table). Weight <= 0 is invalid.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// Graph is an adjacency structure in CSR form with per-vertex alias
+// samplers for O(1) weighted neighbor transitions. It is immutable after
+// NewGraph and safe for concurrent readers.
+type Graph struct {
+	offsets     []int32 // len n+1; neighbors[offsets[v]:offsets[v+1]] are v's out-edges
+	neighbors   []int32
+	alias       []*xrand.Alias // per vertex; nil for vertices without out-edges
+	numEdges    int            // input edge count (before undirected doubling)
+	fingerprint uint64         // content hash computed at build time
+}
+
+// NewGraph builds a graph of n vertices from an edge list. When directed
+// is false every edge is inserted in both directions (self-loops once).
+// Zero-weight edges, out-of-range endpoints and non-positive n are
+// rejected. Duplicate edges are kept; their weights add up in the
+// transition distribution.
+func NewGraph(n int, edges []Edge, directed bool) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("walk: graph needs a positive vertex count, got %d", n)
+	}
+	deg := make([]int32, n+1)
+	count := func(u, v int32, w float64) error {
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return fmt.Errorf("walk: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if w <= 0 {
+			return fmt.Errorf("walk: edge (%d,%d) has non-positive weight %g", u, v, w)
+		}
+		deg[u+1]++
+		if !directed && u != v {
+			deg[v+1]++
+		}
+		return nil
+	}
+	for _, e := range edges {
+		if err := count(e.U, e.V, e.weight()); err != nil {
+			return nil, err
+		}
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	g := &Graph{
+		offsets:   deg,
+		neighbors: make([]int32, deg[n]),
+		alias:     make([]*xrand.Alias, n),
+		numEdges:  len(edges),
+	}
+	weights := make([]float64, deg[n])
+	next := make([]int32, n)
+	insert := func(u, v int32, w float64) {
+		i := g.offsets[u] + next[u]
+		g.neighbors[i] = v
+		weights[i] = w
+		next[u]++
+	}
+	for _, e := range edges {
+		w := e.weight()
+		insert(e.U, e.V, w)
+		if !directed && e.U != e.V {
+			insert(e.V, e.U, w)
+		}
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		if lo == hi {
+			continue
+		}
+		a, err := xrand.NewAlias(weights[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("walk: vertex %d transition table: %w", v, err)
+		}
+		g.alias[v] = a
+	}
+
+	// FNV-1a over the materialised structure; weights are hashed here,
+	// before they are folded into the alias tables.
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ ((v >> i) & 0xff)) * prime64
+		}
+	}
+	mix(uint64(n))
+	for _, o := range g.offsets {
+		mix(uint64(o))
+	}
+	for i, nb := range g.neighbors {
+		mix(uint64(nb))
+		mix(math.Float64bits(weights[i]))
+	}
+	g.fingerprint = h
+	return g, nil
+}
+
+// weight returns the edge weight, defaulting zero (the Edge zero value's
+// weight) to 1 so unweighted edge lists need not set W.
+func (e Edge) weight() float64 {
+	if e.W == 0 {
+		return 1
+	}
+	return e.W
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.alias) }
+
+// Fingerprint returns a hash of the graph's full structure — CSR
+// offsets, neighbor lists, and edge weights — so two graphs with equal
+// vertex/edge counts but different content (an edge swapped, a weight
+// changed) hash differently. cmd/gw2v-worker folds it into the mesh
+// config checksum: a rank launched with a divergent graph fails at
+// connect time instead of training a silently mixed model.
+func (g *Graph) Fingerprint() uint64 { return g.fingerprint }
+
+// NumEdges returns the number of input edges the graph was built from.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Degree returns vertex v's out-degree (counting duplicates; for
+// undirected graphs both directions are materialised).
+func (g *Graph) Degree(v int32) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// Step samples one weighted transition out of v, or returns false when v
+// has no out-edges (a dead end).
+func (g *Graph) Step(v int32, r *xrand.Rand) (int32, bool) {
+	a := g.alias[v]
+	if a == nil {
+		return 0, false
+	}
+	return g.neighbors[g.offsets[v]+int32(a.Draw(r))], true
+}
+
+// HasEdge reports whether an edge u→v is present (linear in deg(u); used
+// by evaluation to sample non-edges, not by training).
+func (g *Graph) HasEdge(u, v int32) bool {
+	for _, n := range g.neighbors[g.offsets[u]:g.offsets[u+1]] {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Config holds the walk hyper-parameters.
+type Config struct {
+	// WalkLength is the number of vertices per walk, counting the start
+	// (DeepWalk's t; 40 is the DeepWalk default).
+	WalkLength int
+	// WalksPerVertex is the number of walks started from each vertex per
+	// epoch. Training epochs multiply it, so DeepWalk's γ = 80 walks per
+	// vertex corresponds to e.g. 8 epochs × 10 walks.
+	WalksPerVertex int
+}
+
+// DefaultConfig returns walk parameters sized for the synthetic presets.
+func DefaultConfig() Config { return Config{WalkLength: 40, WalksPerVertex: 4} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.WalkLength < 2 {
+		return errors.New("walk: WalkLength must be at least 2")
+	}
+	if c.WalksPerVertex <= 0 {
+		return errors.New("walk: WalksPerVertex must be positive")
+	}
+	return nil
+}
+
+// Walker generates one epoch's walk sequences per host. It implements
+// corpus.SequenceSource, which is what lets core.Engine train vertex
+// embeddings through the exact code path that trains word embeddings.
+type Walker struct {
+	g   *Graph
+	cfg Config
+	// starts are the walkable (non-isolated) vertices in id order;
+	// isolated vertices start no walks — they stay at their random
+	// initialisation and surface only as rare negative samples.
+	starts []int32
+}
+
+// NewWalker validates cfg and wraps g.
+func NewWalker(g *Graph, cfg Config) (*Walker, error) {
+	if g == nil {
+		return nil, errors.New("walk: nil graph")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Walker{g: g, cfg: cfg}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if g.Degree(v) > 0 {
+			w.starts = append(w.starts, v)
+		}
+	}
+	if len(w.starts) == 0 {
+		return nil, errors.New("walk: graph has no edges")
+	}
+	return w, nil
+}
+
+// Graph returns the underlying graph.
+func (w *Walker) Graph() *Graph { return w.g }
+
+// Config returns the walk hyper-parameters.
+func (w *Walker) Config() Config { return w.cfg }
+
+// Len returns the number of tokens one epoch yields across all hosts.
+// It is exact for undirected graphs; directed graphs with dead ends may
+// yield fewer (walks truncate where a vertex has no out-edges).
+func (w *Walker) Len() int {
+	return len(w.starts) * w.cfg.WalksPerVertex * w.cfg.WalkLength
+}
+
+// Walk appends one truncated random walk from start to out and returns
+// the extended slice. The walk has WalkLength vertices unless it reaches
+// a dead end (directed graphs only) and stops early.
+func (w *Walker) Walk(start int32, out []int32, r *xrand.Rand) []int32 {
+	out = append(out, start)
+	cur := start
+	for i := 1; i < w.cfg.WalkLength; i++ {
+		next, ok := w.g.Step(cur, r)
+		if !ok {
+			break
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out
+}
+
+// HostEpochTokens implements corpus.SequenceSource: the host's worklist
+// is WalksPerVertex truncated random walks from every walkable start
+// vertex in its contiguous master range [V·host/hosts, V·(host+1)/hosts),
+// concatenated. shuffle randomises the order walks are taken in (DeepWalk
+// shuffles vertices each pass); maxSentence is ignored — callers should
+// set Params.MaxSentenceLength to WalkLength so sentence cuts coincide
+// with walk boundaries.
+func (w *Walker) HostEpochTokens(host, hosts, _ int, shuffle bool, _ int, r *xrand.Rand) []int32 {
+	n := w.g.NumVertices()
+	lo := int32(n * host / hosts)
+	hi := int32(n * (host + 1) / hosts)
+	first := sort.Search(len(w.starts), func(i int) bool { return w.starts[i] >= lo })
+	last := sort.Search(len(w.starts), func(i int) bool { return w.starts[i] >= hi })
+	starts := make([]int32, 0, (last-first)*w.cfg.WalksPerVertex)
+	for rep := 0; rep < w.cfg.WalksPerVertex; rep++ {
+		starts = append(starts, w.starts[first:last]...)
+	}
+	if shuffle {
+		r.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+	}
+	out := make([]int32, 0, len(starts)*w.cfg.WalkLength)
+	for _, s := range starts {
+		out = w.Walk(s, out, r)
+	}
+	return out
+}
+
+var _ corpus.SequenceSource = (*Walker)(nil)
+
+// BuildVocabGraph turns a named edge list into the trainable form: a
+// vocabulary whose "words" are vertex names counted by degree
+// — so ids are degree-ranked, hot model rows cluster, and the
+// unigram^0.75 negative-sampling table approximates the walks' stationary
+// distribution — plus the same graph relabelled into vocabulary-id space,
+// and the dense-id → vocabulary-id remap for carrying labels or held-out
+// edges across. Isolated vertices are retained with count 1.
+func BuildVocabGraph(names []string, edges []Edge, directed bool) (*vocab.Vocabulary, *Graph, []int32, error) {
+	counts := make([]int64, len(names))
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= len(names) || e.V < 0 || int(e.V) >= len(names) {
+			return nil, nil, nil, fmt.Errorf("walk: edge (%d,%d) out of range [0,%d)", e.U, e.V, len(names))
+		}
+		counts[e.U]++
+		if !directed && e.U != e.V {
+			counts[e.V]++
+		}
+	}
+	b := vocab.NewBuilder()
+	for v, name := range names {
+		c := counts[v]
+		if c == 0 {
+			c = 1
+		}
+		b.AddN(name, c)
+	}
+	// No min-count (every vertex is a node of the model) and no
+	// frequent-word subsampling: DeepWalk trains every walk token.
+	voc, err := b.Build(vocab.Options{MinCount: 1, Sample: 0})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if voc.Size() != len(names) {
+		return nil, nil, nil, fmt.Errorf("walk: %d vertex names collapse to %d vocabulary entries (duplicate names?)", len(names), voc.Size())
+	}
+	remap := make([]int32, len(names))
+	for v, name := range names {
+		remap[v] = voc.ID(name)
+	}
+	remapped := make([]Edge, len(edges))
+	for i, e := range edges {
+		remapped[i] = Edge{U: remap[e.U], V: remap[e.V], W: e.W}
+	}
+	g, err := NewGraph(len(names), remapped, directed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return voc, g, remap, nil
+}
+
+// ReadEdgeList parses a whitespace-separated edge list: one "u v" or
+// "u v weight" per line, '#' starting a comment, vertex names arbitrary
+// non-whitespace strings. Names are assigned dense ids in first-seen
+// order; the returned edges index into the returned names table.
+func ReadEdgeList(rd io.Reader) (names []string, edges []Edge, err error) {
+	ids := make(map[string]int32)
+	id := func(name string) int32 {
+		if v, ok := ids[name]; ok {
+			return v
+		}
+		v := int32(len(names))
+		ids[name] = v
+		names = append(names, name)
+		return v
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		switch len(fields) {
+		case 0:
+			continue
+		case 2, 3:
+		default:
+			return nil, nil, fmt.Errorf("walk: line %d: want 'u v [weight]', got %d fields", line, len(fields))
+		}
+		e := Edge{U: id(fields[0]), V: id(fields[1])}
+		if len(fields) == 3 {
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("walk: line %d: bad weight %q", line, fields[2])
+			}
+			e.W = w
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("walk: %w", err)
+	}
+	if len(edges) == 0 {
+		return nil, nil, errors.New("walk: empty edge list")
+	}
+	return names, edges, nil
+}

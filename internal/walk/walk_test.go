@@ -1,0 +1,302 @@
+package walk
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphword2vec/internal/xrand"
+)
+
+// lineGraph returns the path 0-1-2-...-(n-1).
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{U: int32(i), V: int32(i + 1)})
+	}
+	g, err := NewGraph(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphCSR(t *testing.T) {
+	// A triangle plus a pendant and an isolated vertex.
+	g, err := NewGraph(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := []int{2, 2, 3, 1, 0}
+	for v, want := range wantDeg {
+		if got := g.Degree(int32(v)); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge 0-1 missing a direction")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("phantom edge 0-3")
+	}
+	if _, ok := g.Step(4, xrand.New(1)); ok {
+		t.Error("Step out of an isolated vertex succeeded")
+	}
+}
+
+func TestGraphRejectsBadInput(t *testing.T) {
+	if _, err := NewGraph(0, nil, false); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := NewGraph(2, []Edge{{U: 0, V: 2}}, false); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := NewGraph(2, []Edge{{U: 0, V: 1, W: -1}}, false); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWalkLengthAndSelfLoops(t *testing.T) {
+	// On an undirected graph every reached vertex has a way onward, so
+	// walks are exactly WalkLength long.
+	g := lineGraph(t, 6)
+	w, err := NewWalker(g, Config{WalkLength: 17, WalksPerVertex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	for start := int32(0); start < 6; start++ {
+		wk := w.Walk(start, nil, r)
+		if len(wk) != 17 {
+			t.Fatalf("walk from %d has %d vertices, want 17", start, len(wk))
+		}
+		if wk[0] != start {
+			t.Fatalf("walk starts at %d, want %d", wk[0], start)
+		}
+		for i := 1; i < len(wk); i++ {
+			if d := wk[i] - wk[i-1]; d != 1 && d != -1 {
+				t.Fatalf("non-adjacent step %d -> %d", wk[i-1], wk[i])
+			}
+		}
+	}
+
+	// A vertex whose only edge is a self-loop walks in place.
+	loop, err := NewGraph(2, []Edge{{U: 0, V: 0}, {U: 1, V: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := NewWalker(loop, Config{WalkLength: 5, WalksPerVertex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := lw.Walk(0, nil, xrand.New(1))
+	if !reflect.DeepEqual(wk, []int32{0, 0, 0, 0, 0}) {
+		t.Fatalf("self-loop walk = %v", wk)
+	}
+}
+
+func TestWalkDeadEndTruncates(t *testing.T) {
+	// Directed chain 0 -> 1 -> 2: walks stop at the dead end.
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(g, Config{WalkLength: 10, WalksPerVertex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := w.Walk(0, nil, xrand.New(1))
+	if !reflect.DeepEqual(wk, []int32{0, 1, 2}) {
+		t.Fatalf("dead-end walk = %v, want [0 1 2]", wk)
+	}
+	// Vertex 2 has no out-edges, so it starts no walks and Len counts
+	// only vertices 0 and 1.
+	if want := 2 * 10; w.Len() != want {
+		t.Errorf("Len = %d, want %d", w.Len(), want)
+	}
+}
+
+func TestHostEpochTokensDeterministicPerSeed(t *testing.T) {
+	g := lineGraph(t, 20)
+	w, err := NewWalker(g, Config{WalkLength: 8, WalksPerVertex: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.HostEpochTokens(1, 4, 0, true, 0, xrand.New(42))
+	b := w.HostEpochTokens(1, 4, 0, true, 0, xrand.New(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different worklists")
+	}
+	c := w.HostEpochTokens(1, 4, 0, true, 0, xrand.New(43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical worklists")
+	}
+}
+
+func TestHostEpochTokensShardsByStartVertex(t *testing.T) {
+	const n, hosts = 20, 4
+	g := lineGraph(t, n)
+	cfg := Config{WalkLength: 5, WalksPerVertex: 2}
+	w, err := NewWalker(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startCount := make(map[int32]int)
+	total := 0
+	for h := 0; h < hosts; h++ {
+		toks := w.HostEpochTokens(h, hosts, 0, false, 0, xrand.New(9))
+		if len(toks)%cfg.WalkLength != 0 {
+			t.Fatalf("host %d worklist of %d tokens not walk-aligned", h, len(toks))
+		}
+		total += len(toks)
+		lo, hi := int32(n*h/hosts), int32(n*(h+1)/hosts)
+		for i := 0; i < len(toks); i += cfg.WalkLength {
+			s := toks[i]
+			if s < lo || s >= hi {
+				t.Fatalf("host %d walk starts at %d outside its range [%d,%d)", h, s, lo, hi)
+			}
+			startCount[s]++
+		}
+	}
+	if total != w.Len() {
+		t.Errorf("hosts produced %d tokens, Len promises %d", total, w.Len())
+	}
+	for v := int32(0); v < n; v++ {
+		if startCount[v] != cfg.WalksPerVertex {
+			t.Errorf("vertex %d started %d walks, want %d", v, startCount[v], cfg.WalksPerVertex)
+		}
+	}
+}
+
+func TestIsolatedVerticesStartNoWalks(t *testing.T) {
+	// Vertices 3 and 4 are isolated: every walk token must be in {0,1,2}.
+	g, err := NewGraph(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWalker(g, Config{WalkLength: 6, WalksPerVertex: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 2; h++ {
+		for _, tok := range w.HostEpochTokens(h, 2, 0, true, 0, xrand.New(5)) {
+			if tok > 2 {
+				t.Fatalf("isolated vertex %d appeared in a walk", tok)
+			}
+		}
+	}
+	if want := 3 * 4 * 6; w.Len() != want {
+		t.Errorf("Len = %d, want %d (isolated vertices excluded)", w.Len(), want)
+	}
+}
+
+func TestAliasTransitionsFollowWeights(t *testing.T) {
+	// Vertex 0 has neighbours 1 (weight 9) and 2 (weight 1): transitions
+	// should split roughly 9:1.
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1, W: 9}, {U: 0, V: 2, W: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	counts := map[int32]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		next, ok := g.Step(0, r)
+		if !ok {
+			t.Fatal("Step failed")
+		}
+		counts[next]++
+	}
+	frac := float64(counts[1]) / draws
+	if frac < 0.88 || frac > 0.92 {
+		t.Errorf("heavy edge taken %.3f of the time, want ~0.9", frac)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3, W: 2}}
+	build := func(edges []Edge) uint64 {
+		g, err := NewGraph(4, edges, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Fingerprint()
+	}
+	want := build(base)
+	if got := build(append([]Edge(nil), base...)); got != want {
+		t.Error("identical graphs fingerprint differently")
+	}
+	// Same vertex/edge counts, one weight changed.
+	if got := build([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3, W: 3}}); got == want {
+		t.Error("weight change not reflected in fingerprint")
+	}
+	// Same vertex/edge counts, one edge swapped.
+	if got := build([]Edge{{U: 0, V: 1}, {U: 1, V: 3}, {U: 2, V: 3, W: 2}}); got == want {
+		t.Error("edge swap not reflected in fingerprint")
+	}
+}
+
+func TestBuildVocabGraph(t *testing.T) {
+	// A star around "hub" plus an isolated vertex: ids must come out
+	// degree-ordered with the remap carrying labels across.
+	names := []string{"a", "hub", "b", "lonely"}
+	edges := []Edge{{U: 1, V: 0}, {U: 1, V: 2}}
+	voc, g, remap, err := BuildVocabGraph(names, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voc.Size() != 4 || g.NumVertices() != 4 {
+		t.Fatalf("size = %d/%d, want 4", voc.Size(), g.NumVertices())
+	}
+	if voc.Text(0) != "hub" {
+		t.Errorf("highest-degree vertex got id %d, want 0 (%q)", voc.ID("hub"), voc.Text(0))
+	}
+	for v, name := range names {
+		if remap[v] != voc.ID(name) {
+			t.Errorf("remap[%d] = %d, want %d", v, remap[v], voc.ID(name))
+		}
+	}
+	if g.Degree(voc.ID("hub")) != 2 || g.Degree(voc.ID("lonely")) != 0 {
+		t.Error("degrees not preserved through the remap")
+	}
+	if !g.HasEdge(voc.ID("a"), voc.ID("hub")) {
+		t.Error("edge a-hub lost in the remap")
+	}
+
+	if _, _, _, err := BuildVocabGraph([]string{"x", "x"}, []Edge{{U: 0, V: 1}}, false); err == nil {
+		t.Error("duplicate vertex names accepted")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+a b
+b c 2.5
+c a  # trailing comment
+
+`
+	names, edges, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(edges))
+	}
+	if edges[1].W != 2.5 {
+		t.Errorf("weight = %v, want 2.5", edges[1].W)
+	}
+
+	if _, _, err := ReadEdgeList(strings.NewReader("a\n")); err == nil {
+		t.Error("1-field line accepted")
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("a b -1\n")); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("# nothing\n")); err == nil {
+		t.Error("empty edge list accepted")
+	}
+}

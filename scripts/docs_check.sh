@@ -1,0 +1,33 @@
+#!/bin/sh
+# docs_check.sh — fail if a Markdown file referenced from Go sources or
+# from Markdown links is missing from the repository root. This is what
+# keeps doc citations in code comments (e.g. "see DESIGN.md §4") honest:
+# the repo shipped for months citing DESIGN.md/EXPERIMENTS.md files that
+# were never committed. Run via `make docs-check` (CI runs it too).
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+refs=$(
+    {
+        # Bare references in Go comments/strings: DESIGN.md, EXPERIMENTS.md, ...
+        grep -rhoE '[A-Za-z0-9][A-Za-z0-9_.-]*\.md' --include='*.go' . 2>/dev/null
+        # Markdown link targets in the top-level docs: [text](FILE.md)
+        grep -hoE '\]\([A-Za-z0-9][A-Za-z0-9_./-]*\.md\)' ./*.md 2>/dev/null |
+            sed -e 's/^](//' -e 's/)$//'
+    } | sort -u
+)
+
+for f in $refs; do
+    if [ ! -e "$f" ]; then
+        echo "docs-check: '$f' is referenced but does not exist" >&2
+        grep -rln --include='*.go' "$f" . 2>/dev/null | sed 's/^/  referenced from /' >&2 || true
+        grep -ln "]($f)" ./*.md 2>/dev/null | sed 's/^/  referenced from /' >&2 || true
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "docs-check: all $(printf '%s\n' "$refs" | wc -l | tr -d ' ') referenced Markdown files exist"
+fi
+exit $status
