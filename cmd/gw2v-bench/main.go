@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,7 +22,7 @@ import (
 )
 
 var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
-	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync"}
+	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync", "comm-volume"}
 
 func main() {
 	log.SetFlags(0)
@@ -33,6 +34,7 @@ func main() {
 		epochs   = flag.Int("epochs", 0, "training epochs (0 = 16)")
 		dim      = flag.Int("dim", 0, "embedding dimensionality (0 = scale default)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		benchOut = flag.String("bench-json", "", "write the comm-volume rows as JSON to this path (e.g. BENCH_comm.json)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,24 @@ func main() {
 	run("ablation-sparsity", func() error { _, err := harness.AblationSparsity(opts); return err })
 	run("ablation-threads", func() error { _, err := harness.AblationIntraHost(opts, nil); return err })
 	run("graph-sync", func() error { _, err := harness.GraphSync(opts); return err })
+	run("comm-volume", func() error {
+		rows, err := harness.CommVolume(opts)
+		if err != nil || *benchOut == "" {
+			return err
+		}
+		doc := struct {
+			Experiment string                  `json:"experiment"`
+			Scale      string                  `json:"scale"`
+			Hosts      int                     `json:"hosts"`
+			Seed       uint64                  `json:"seed"`
+			Rows       []harness.CommVolumeRow `json:"rows"`
+		}{"comm-volume", opts.Scale.String(), opts.Hosts, opts.Seed, rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+	})
 
 	for name := range want {
 		log.Fatalf("unknown experiment %q (valid: %s)", name, strings.Join(experiments, ", "))

@@ -40,6 +40,7 @@ func main() {
 		syncRounds = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
 		combiner   = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
 		modeStr    = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+		wireStr    = flag.String("wire", "packed", "sync payload codec: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -96,12 +97,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		wire, err := gluon.ParseCodec(*wireStr)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cfg := core.DefaultConfig(*hosts)
 		cfg.Epochs = *epochs
 		cfg.Alpha = float32(*alpha)
 		cfg.Params = params
 		cfg.CombinerName = *combiner
 		cfg.Mode = mode
+		cfg.Wire = wire
 		cfg.Seed = *seed
 		cfg.ThreadsPerHost = *threads
 		if *syncRounds > 0 {

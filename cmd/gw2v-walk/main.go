@@ -49,6 +49,7 @@ func main() {
 		walksPer  = flag.Int("walks-per-vertex", 0, "walks per start vertex per epoch (0 = default)")
 		combiner  = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
 		modeStr   = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+		wireStr   = flag.String("wire", "packed", "sync payload codec: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		neighbors = flag.String("neighbors", "", "print the nearest neighbours of this vertex after training")
 		k         = flag.Int("k", 10, "neighbour count for -neighbors")
@@ -58,6 +59,10 @@ func main() {
 		log.Fatal("exactly one of -graph or -preset is required")
 	}
 	mode, err := gluon.ParseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := gluon.ParseCodec(*wireStr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,6 +99,7 @@ func main() {
 	cfg.Params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: wcfg.WalkLength}
 	cfg.CombinerName = *combiner
 	cfg.Mode = mode
+	cfg.Wire = wire
 	cfg.Seed = *seed
 
 	start := time.Now()

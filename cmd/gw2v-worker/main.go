@@ -80,6 +80,7 @@ func main() {
 		syncRounds  = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
 		combiner    = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
 		modeStr     = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+		wireStr     = flag.String("wire", "packed", "sync payload codec, identical on every rank: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
 		seed        = flag.Uint64("seed", 1, "random seed (identical on every rank)")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers during bootstrap")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
@@ -94,6 +95,10 @@ func main() {
 	}
 	hosts := len(peers)
 	mode, err := gluon.ParseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := gluon.ParseCodec(*wireStr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -186,6 +191,7 @@ func main() {
 	cfg.Params = params
 	cfg.CombinerName = *combiner
 	cfg.Mode = mode
+	cfg.Wire = wire
 	cfg.Seed = *seed
 	cfg.ThreadsPerHost = *threads
 	if *syncRounds > 0 {
@@ -197,6 +203,7 @@ func main() {
 		Peers:    peers,
 		Listen:   *listenAddr,
 		Checksum: cfg.Checksum(voc.Size(), src.Len(), *dim, extra...),
+		Wire:     cfg.Wire,
 		Timeout:  *dialTimeout,
 	})
 	if err != nil {

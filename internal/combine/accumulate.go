@@ -1,0 +1,142 @@
+package combine
+
+// Accumulator is the decode-side staging area for one owner's reduction:
+// it collects every host's delta for each node in the owner's master
+// range, then folds them with a Combiner. It owns the per-(node, host)
+// slot buffers and reuses them across synchronisation rounds, so the
+// wire decoder can hand it short-lived scratch vectors without
+// allocating per entry.
+//
+// Exact-zero deltas are dropped on Record, which keeps the reduction
+// operator's inputs identical between dense (RepModel-Naive) and sparse
+// (RepModel-Opt / PullModel) communication — a dense round ships zero
+// deltas for untouched nodes, a sparse round ships nothing, and both
+// must combine to the same result. Record also tracks which *halves* of
+// the concatenated (embedding ‖ training) vector each node received
+// nonzero contributions for; the broadcast encoder uses that to ship
+// only the halves whose canonical value can have changed.
+//
+// An Accumulator is not safe for concurrent use. Callers must pass node
+// ids inside [lo, hi) and host ids inside [0, hosts); both are the
+// caller's protocol-validation responsibility (gluon.HostSync range-
+// checks every decoded entry before recording it).
+type Accumulator struct {
+	lo, hi int
+	hosts  int
+	dim    int
+
+	// slots[(node-lo)*hosts + host] is that host's recorded delta
+	// (length 2·dim), allocated lazily and reused across rounds;
+	// present marks the slots recorded this round.
+	slots   [][]float32
+	present []bool
+	// halves[node-lo] is the OR of recorded nonzero halves (bit 0:
+	// embedding, bit 1: training); nonzero iff the node was touched.
+	halves []uint8
+	// touched lists the nodes recorded this round, for O(touched) Reset.
+	touched []int
+
+	deltas [][]float32 // Fold scratch
+}
+
+// Per-half bits reported by Halves.
+const (
+	accHalfEmb uint8 = 1 << 0
+	accHalfCtx uint8 = 1 << 1
+)
+
+// NewAccumulator creates an Accumulator for the owned node range
+// [lo, hi) across the given host count, combining concatenated vectors
+// of length 2·dim.
+func NewAccumulator(lo, hi, hosts, dim int) *Accumulator {
+	return &Accumulator{
+		lo:      lo,
+		hi:      hi,
+		hosts:   hosts,
+		dim:     dim,
+		slots:   make([][]float32, (hi-lo)*hosts),
+		present: make([]bool, (hi-lo)*hosts),
+		halves:  make([]uint8, hi-lo),
+		deltas:  make([][]float32, 0, hosts),
+	}
+}
+
+// Record stores host's delta for node, copying vec (length 2·dim) into
+// the node's slot. All-zero deltas are dropped; a second Record for the
+// same (node, host) in one round overwrites the first.
+func (a *Accumulator) Record(node, host int, vec []float32) {
+	var h uint8
+	for _, v := range vec[:a.dim] {
+		if v != 0 {
+			h |= accHalfEmb
+			break
+		}
+	}
+	for _, v := range vec[a.dim:] {
+		if v != 0 {
+			h |= accHalfCtx
+			break
+		}
+	}
+	if h == 0 {
+		return
+	}
+	if a.halves[node-a.lo] == 0 {
+		a.touched = append(a.touched, node)
+	}
+	a.halves[node-a.lo] |= h
+	i := (node-a.lo)*a.hosts + host
+	buf := a.slots[i]
+	if buf == nil {
+		buf = make([]float32, 2*a.dim)
+		a.slots[i] = buf
+	}
+	copy(buf, vec)
+	a.present[i] = true
+}
+
+// Touched reports whether any host recorded a nonzero delta for node
+// this round.
+func (a *Accumulator) Touched(node int) bool { return a.halves[node-a.lo] != 0 }
+
+// Halves reports which halves of node's concatenated vector received a
+// nonzero contribution from some host. A half left false is guaranteed
+// to have an exactly-zero combined delta: the all-zero-half subspace is
+// closed under every Combiner (they only scale and add deltas), so the
+// canonical value of that half cannot change this round.
+func (a *Accumulator) Halves(node int) (emb, ctx bool) {
+	h := a.halves[node-a.lo]
+	return h&accHalfEmb != 0, h&accHalfCtx != 0
+}
+
+// Fold combines the deltas recorded for node into out (length 2·dim)
+// using c, presenting them in ascending host order — the determinism
+// contract order-sensitive combiners like the model combiner rely on.
+// It reports whether any delta was present; out is untouched otherwise.
+func (a *Accumulator) Fold(c Combiner, node int, out []float32) bool {
+	base := (node - a.lo) * a.hosts
+	a.deltas = a.deltas[:0]
+	for h := 0; h < a.hosts; h++ {
+		if a.present[base+h] {
+			a.deltas = append(a.deltas, a.slots[base+h])
+		}
+	}
+	if len(a.deltas) == 0 {
+		return false
+	}
+	c.Combine(out, a.deltas)
+	return true
+}
+
+// Reset clears this round's recordings in O(touched nodes), keeping the
+// slot buffers for reuse.
+func (a *Accumulator) Reset() {
+	for _, node := range a.touched {
+		a.halves[node-a.lo] = 0
+		base := (node - a.lo) * a.hosts
+		for h := 0; h < a.hosts; h++ {
+			a.present[base+h] = false
+		}
+	}
+	a.touched = a.touched[:0]
+}

@@ -1,0 +1,101 @@
+package combine
+
+import (
+	"testing"
+)
+
+func TestAccumulatorRecordFoldReset(t *testing.T) {
+	// Range [10, 14), 3 hosts, dim 2 (vectors of length 4).
+	a := NewAccumulator(10, 14, 3, 2)
+	if a.Touched(11) {
+		t.Fatal("fresh accumulator reports touched")
+	}
+
+	a.Record(11, 2, []float32{1, 2, 0, 0}) // embedding half only
+	a.Record(11, 0, []float32{0, 0, 3, 4}) // training half only
+	a.Record(12, 1, []float32{0, 0, 0, 0}) // exact zero: dropped
+
+	if !a.Touched(11) || a.Touched(12) || a.Touched(10) {
+		t.Fatal("touched tracking wrong")
+	}
+	emb, ctx := a.Halves(11)
+	if !emb || !ctx {
+		t.Fatalf("halves(11) = (%v, %v), want both", emb, ctx)
+	}
+
+	out := make([]float32, 4)
+	if !a.Fold(Sum{}, 11, out) {
+		t.Fatal("Fold found no deltas")
+	}
+	for i, want := range []float32{1, 2, 3, 4} {
+		if out[i] != want {
+			t.Fatalf("fold = %v", out)
+		}
+	}
+	if a.Fold(Sum{}, 12, out) {
+		t.Fatal("zero-delta node folded")
+	}
+
+	a.Reset()
+	if a.Touched(11) {
+		t.Fatal("touched survived Reset")
+	}
+	if a.Fold(Sum{}, 11, out) {
+		t.Fatal("deltas survived Reset")
+	}
+
+	// Slot buffers are reused: a new round records cleanly.
+	a.Record(11, 1, []float32{5, 0, 0, 0})
+	if !a.Fold(Sum{}, 11, out) || out[0] != 5 || out[1] != 0 {
+		t.Fatalf("post-reset fold = %v", out)
+	}
+	emb, ctx = a.Halves(11)
+	if !emb || ctx {
+		t.Fatalf("post-reset halves = (%v, %v), want emb only", emb, ctx)
+	}
+}
+
+// TestAccumulatorHostOrder: Fold must present deltas in ascending host
+// order regardless of Record order — the determinism contract for
+// order-sensitive combiners like the model combiner.
+func TestAccumulatorHostOrder(t *testing.T) {
+	a := NewAccumulator(0, 1, 3, 1)
+	a.Record(0, 2, []float32{1, 0})
+	a.Record(0, 0, []float32{2, 0})
+	a.Record(0, 1, []float32{4, 0})
+
+	var seen []float32
+	probe := probeCombiner{onCombine: func(deltas [][]float32) {
+		for _, d := range deltas {
+			seen = append(seen, d[0])
+		}
+	}}
+	out := make([]float32, 2)
+	a.Fold(probe, 0, out)
+	if len(seen) != 3 || seen[0] != 2 || seen[1] != 4 || seen[2] != 1 {
+		t.Fatalf("delta order = %v, want host-ascending [2 4 1]", seen)
+	}
+}
+
+// TestAccumulatorOverwrite: a second Record for the same (node, host)
+// replaces the first — the per-round slot semantics.
+func TestAccumulatorOverwrite(t *testing.T) {
+	a := NewAccumulator(0, 2, 2, 1)
+	a.Record(1, 0, []float32{1, 1})
+	a.Record(1, 0, []float32{7, 0})
+	out := make([]float32, 2)
+	a.Fold(Sum{}, 1, out)
+	if out[0] != 7 || out[1] != 0 {
+		t.Fatalf("fold = %v, want overwrite [7 0]", out)
+	}
+}
+
+type probeCombiner struct {
+	onCombine func([][]float32)
+}
+
+func (probeCombiner) Name() string { return "probe" }
+func (p probeCombiner) Combine(out []float32, deltas [][]float32) {
+	p.onCombine(deltas)
+	Sum{}.Combine(out, deltas)
+}

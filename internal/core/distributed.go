@@ -43,7 +43,7 @@ func (c *Config) Checksum(vocabSize, corpusLen, dim int, extra ...uint64) uint64
 		uint64(math.Float32bits(c.Alpha)), uint64(math.Float32bits(c.MinAlphaFactor)),
 		uint64(c.ThreadsPerHost),
 		uint64(c.Params.Window), uint64(c.Params.Negatives), uint64(c.Params.MaxSentenceLength),
-		uint64(c.Mode), c.Seed, shuffle, comb,
+		uint64(c.Mode), uint64(c.Wire), c.Seed, shuffle, comb,
 		uint64(vocabSize), uint64(corpusLen), uint64(dim),
 	}
 	parts = append(parts, extra...)

@@ -131,7 +131,7 @@ func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, 
 		local = init.Clone()
 	}
 	base := local.Clone()
-	hs, err := gluon.NewHostSync(host, part, tr, dim, cfg.Mode, combine.ByName(cfg.CombinerName, 2*dim))
+	hs, err := gluon.NewHostSync(host, part, tr, dim, cfg.Mode, combine.ByName(cfg.CombinerName, 2*dim), cfg.Wire)
 	if err != nil {
 		return nil, err
 	}

@@ -221,6 +221,10 @@ func TestRunSparseVolumeOrdering(t *testing.T) {
 		cfg.SyncRounds = 12
 		cfg.Params = sgns.Params{Window: 2, Negatives: 1}
 		cfg.Mode = mode
+		// Measure at the raw baseline codec: the packed codec compresses
+		// the dense scheme's untouched entries to two mask bits each,
+		// which would blur the scheme comparison under test.
+		cfg.Wire = gluon.CodecRaw
 		tr, err := NewTrainer(cfg, v, neg, c, 8)
 		if err != nil {
 			t.Fatal(err)

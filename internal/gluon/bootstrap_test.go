@@ -24,7 +24,7 @@ func newBootstrapCluster(t *testing.T, n, nodes, dim int) (*InProcTransport, []*
 	}
 	syncs := make([]*HostSync, n)
 	for h := 0; h < n; h++ {
-		syncs[h], err = NewHostSync(h, part, tr, dim, RepModelOpt, combine.NewModelCombiner(2*dim))
+		syncs[h], err = NewHostSync(h, part, tr, dim, RepModelOpt, combine.NewModelCombiner(2*dim), CodecPacked)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func TestGatherMastersRejectsForeignRows(t *testing.T) {
 	tr, syncs, _ := newBootstrapCluster(t, n, nodes, dim)
 
 	// Host 1 claims node 0, owned by host 0.
-	bad := vectorMessage(kindGather, 0, dim, []int32{0}, func(_ int32, dst []float32) { dst[0] = 9 })
+	bad := testVectorFrame(kindGather, 0, dim, []int32{0}, func(_ int32, dst []float32) { dst[0] = 9 })
 	if err := tr.Send(1, 0, bad); err != nil {
 		t.Fatal(err)
 	}

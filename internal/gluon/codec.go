@@ -1,0 +1,346 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Payload codecs for vector frames (reduce / broadcast / gather). The
+// full byte-level specification lives in PROTOCOL.md; this file is the
+// reference implementation.
+//
+// A Codec names one of the supported encoding combinations. Every host
+// in a cluster must be configured with the same codec: the receive path
+// rejects frames whose codec byte differs from the negotiated one, and
+// the multi-process mesh handshake (transport_mesh.go) refuses peers
+// configured differently before any training traffic flows.
+type Codec uint8
+
+const (
+	// CodecPacked is the default lossless codec: index sets are encoded
+	// as sorted varint deltas instead of raw uint32s, and all-zero
+	// vector halves (a node touched only as a center word, or only as a
+	// context/negative) are suppressed from the payload. Runs are
+	// bit-identical to CodecRaw — only the bytes on the wire change.
+	CodecPacked Codec = iota
+	// CodecRaw ships protocol-v1-equivalent volume: raw uint32 indices
+	// and dense float32 payloads. It exists as the measurement baseline
+	// for the comm-volume experiment and as the escape hatch if a codec
+	// bug is ever suspected.
+	CodecRaw
+	// CodecFP16 is CodecPacked plus lossy quantization of reduce-phase
+	// payloads to IEEE 754 binary16. Broadcast and gather payloads (the
+	// canonical master values) stay float32, so replicas remain exactly
+	// consistent across hosts; only the deltas folded by the reduction
+	// operator lose precision. Excluded from bit-identity guarantees
+	// against lossless runs, but still deterministic: the simulated and
+	// TCP execution modes quantize identically.
+	CodecFP16
+)
+
+// ParseCodec converts a -wire flag value into a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "packed", "":
+		return CodecPacked, nil
+	case "raw":
+		return CodecRaw, nil
+	case "fp16":
+		return CodecFP16, nil
+	}
+	return 0, fmt.Errorf("gluon: unknown wire codec %q (want packed, raw or fp16)", s)
+}
+
+// String returns the -wire flag spelling of the codec.
+func (c Codec) String() string {
+	switch c {
+	case CodecPacked:
+		return "packed"
+	case CodecRaw:
+		return "raw"
+	case CodecFP16:
+		return "fp16"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// Validate reports whether the codec is one of the supported values.
+func (c Codec) Validate() error {
+	switch c {
+	case CodecPacked, CodecRaw, CodecFP16:
+		return nil
+	}
+	return fmt.Errorf("gluon: unknown wire codec %d", int(c))
+}
+
+// Lossless reports whether training under this codec is bit-identical
+// to CodecRaw.
+func (c Codec) Lossless() bool { return c != CodecFP16 }
+
+// Per-frame codec byte: the flag bits actually applied to one vector
+// frame. The configured Codec maps to a flag set per message kind (see
+// HostSync.frameFlags) — e.g. fp16 never applies to broadcasts — and
+// the byte is embedded in every vector frame so a decoder can verify it
+// against the negotiated codec.
+const (
+	// wireVarint: the index section is a sorted varint-delta list
+	// instead of raw uint32s.
+	wireVarint byte = 1 << 0
+	// wireHalves: a half-presence mask section follows the indices and
+	// absent halves are omitted from the payload.
+	wireHalves byte = 1 << 1
+	// wireFP16: payload values are IEEE binary16 instead of binary32.
+	wireFP16 byte = 1 << 2
+
+	wireKnownFlags = wireVarint | wireHalves | wireFP16
+)
+
+// Half-presence bits, two per entry in the mask section.
+const (
+	halfEmb  byte = 1 << 0 // embedding (first dim floats) present
+	halfCtx  byte = 1 << 1 // training/context (second dim floats) present
+	halfBoth      = halfEmb | halfCtx
+)
+
+// flags returns the full flag set the codec enables; per-kind policy
+// masks bits off (HostSync.frameFlags).
+func (c Codec) flags() byte {
+	switch c {
+	case CodecRaw:
+		return 0
+	case CodecFP16:
+		return wireVarint | wireHalves | wireFP16
+	default: // CodecPacked
+		return wireVarint | wireHalves
+	}
+}
+
+// nonzeroHalves returns the half-presence mask of a concatenated
+// (embedding ‖ training) vector: a half is present iff any component is
+// nonzero. Used by the reduce encoder, where an absent half means "this
+// host's delta for that half is exactly zero".
+func nonzeroHalves(vec []float32, dim int) byte {
+	var h byte
+	for _, v := range vec[:dim] {
+		if v != 0 {
+			h |= halfEmb
+			break
+		}
+	}
+	for _, v := range vec[dim:] {
+		if v != 0 {
+			h |= halfCtx
+			break
+		}
+	}
+	return h
+}
+
+// halfCount returns how many halves the mask selects (0, 1 or 2).
+func halfCount(h byte) int { return int(h&1 + h>>1&1) }
+
+// encodeVectorFrame builds a reduce, broadcast or gather frame:
+//
+//	header (9 bytes) · codec byte · index section · mask section · payload
+//
+// nodes must be sorted strictly ascending (the protocol invariant the
+// varint-delta encoding relies on; senders always walk master ranges in
+// order). vecAt fills the 2·dim-float concatenated vector for a node.
+// halfAt, when non-nil and wireHalves is set, selects which halves of
+// each node ship; with a nil halfAt the mask is derived from the vector
+// content (all-zero halves are suppressed). Without wireHalves every
+// entry ships both halves and no mask section is emitted.
+func encodeVectorFrame(kind byte, round uint32, flags byte, dim int, nodes []int32, halfAt func(node int32) byte, vecAt func(node int32, dst []float32)) []byte {
+	valBytes := 4
+	if flags&wireFP16 != 0 {
+		valBytes = 2
+	}
+	buf := make([]byte, headerBytes, headerBytes+1+len(nodes)*(1+2*dim*valBytes))
+	putHeader(buf, kind, round, uint32(len(nodes)))
+	buf = append(buf, flags)
+
+	// Index section.
+	if flags&wireVarint != 0 {
+		var tmp [binary.MaxVarintLen32]byte
+		prev := int32(0)
+		for i, n := range nodes {
+			d := uint64(n)
+			if i > 0 {
+				d = uint64(n - prev) // strictly ascending ⇒ ≥ 1
+			}
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], d)]...)
+			prev = n
+		}
+	} else {
+		for _, n := range nodes {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		}
+	}
+
+	// Evaluate vectors once, recording masks and payload together.
+	vec := make([]float32, 2*dim)
+	masks := make([]byte, (2*len(nodes)+7)/8)
+	payload := make([]byte, 0, len(nodes)*2*dim*valBytes)
+	putHalf := func(half []float32) {
+		for _, v := range half {
+			if flags&wireFP16 != 0 {
+				payload = binary.LittleEndian.AppendUint16(payload, float16bits(v))
+			} else {
+				payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(v))
+			}
+		}
+	}
+	for i, n := range nodes {
+		vecAt(n, vec)
+		h := halfBoth
+		if flags&wireHalves != 0 {
+			if halfAt != nil {
+				h = halfAt(n) & halfBoth
+			} else {
+				h = nonzeroHalves(vec, dim)
+			}
+		}
+		masks[i/4] |= h << uint(i%4*2)
+		if h&halfEmb != 0 {
+			putHalf(vec[:dim])
+		}
+		if h&halfCtx != 0 {
+			putHalf(vec[dim:])
+		}
+	}
+	if flags&wireHalves != 0 {
+		buf = append(buf, masks...)
+	}
+	return append(buf, payload...)
+}
+
+// decodeVectorFrame decodes a vector frame, enforcing that its codec
+// byte equals wantFlags (the codec negotiated for this cluster and
+// message kind). fn receives each node id, its half-presence mask, and
+// the full 2·dim vector with absent halves zero-filled; the slice is
+// reused across entries. Any structural defect — unknown codec bits, a
+// truncated or overlong varint, a non-ascending index, nonzero mask
+// padding, or a payload whose length does not match the mask — is
+// rejected with an error.
+func decodeVectorFrame(payload []byte, dim int, wantFlags byte, fn func(node int32, half byte, vec []float32) error) error {
+	_, _, count, err := parseHeader(payload)
+	if err != nil {
+		return err
+	}
+	if len(payload) < headerBytes+1 {
+		return fmt.Errorf("gluon: vector frame of %d bytes lacks a codec byte", len(payload))
+	}
+	flags := payload[headerBytes]
+	if flags&^wireKnownFlags != 0 {
+		return fmt.Errorf("gluon: vector frame with unknown codec bits %#x", flags)
+	}
+	if flags != wantFlags {
+		return fmt.Errorf("gluon: vector frame codec %#x, negotiated %#x — mixed -wire configurations in one cluster", flags, wantFlags)
+	}
+	rest := payload[headerBytes+1:]
+	// Each entry consumes at least one index byte, so an absurd count in
+	// a corrupted header is rejected before any allocation sized by it.
+	if int64(count) > int64(len(rest)) {
+		return fmt.Errorf("gluon: vector frame claims %d entries in %d bytes", count, len(rest))
+	}
+
+	// Index section.
+	nodes := make([]int32, count)
+	if flags&wireVarint != 0 {
+		prev := int64(-1)
+		for i := range nodes {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return fmt.Errorf("gluon: corrupt varint in index %d of vector frame", i)
+			}
+			rest = rest[n:]
+			cur := int64(v)
+			if i > 0 {
+				if v == 0 {
+					return fmt.Errorf("gluon: zero index delta at entry %d (indices must be strictly ascending)", i)
+				}
+				cur = prev + int64(v)
+			}
+			if cur > math.MaxInt32 {
+				return fmt.Errorf("gluon: index %d overflows int32 in vector frame", cur)
+			}
+			nodes[i] = int32(cur)
+			prev = cur
+		}
+	} else {
+		if len(rest) < 4*int(count) {
+			return fmt.Errorf("gluon: vector frame index section truncated (%d bytes for %d entries)", len(rest), count)
+		}
+		for i := range nodes {
+			v := binary.LittleEndian.Uint32(rest[4*i:])
+			if v > math.MaxInt32 {
+				return fmt.Errorf("gluon: index %d overflows int32 in vector frame", v)
+			}
+			nodes[i] = int32(v)
+		}
+		rest = rest[4*int(count):]
+	}
+
+	// Mask section.
+	var masks []byte
+	if flags&wireHalves != 0 {
+		nb := (2*int(count) + 7) / 8
+		if len(rest) < nb {
+			return fmt.Errorf("gluon: vector frame mask section truncated (%d bytes, want %d)", len(rest), nb)
+		}
+		masks = rest[:nb]
+		rest = rest[nb:]
+		if pad := 2 * int(count) % 8; pad != 0 && masks[nb-1]>>uint(pad) != 0 {
+			return fmt.Errorf("gluon: nonzero padding bits in vector frame mask")
+		}
+	}
+
+	// Payload section: verify the exact length before decoding.
+	valBytes := 4
+	if flags&wireFP16 != 0 {
+		valBytes = 2
+	}
+	halves := 2 * int(count)
+	if masks != nil {
+		halves = 0
+		for i := 0; i < int(count); i++ {
+			halves += halfCount(masks[i/4] >> uint(i%4*2) & halfBoth)
+		}
+	}
+	if want := halves * dim * valBytes; len(rest) != want {
+		return fmt.Errorf("gluon: vector frame payload of %d bytes, want %d for %d present halves", len(rest), want, halves)
+	}
+
+	vec := make([]float32, 2*dim)
+	getHalf := func(dst []float32) {
+		for j := range dst {
+			if valBytes == 2 {
+				dst[j] = float16frombits(binary.LittleEndian.Uint16(rest))
+			} else {
+				dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(rest))
+			}
+			rest = rest[valBytes:]
+		}
+	}
+	for i, node := range nodes {
+		h := halfBoth
+		if masks != nil {
+			h = masks[i/4] >> uint(i%4*2) & halfBoth
+		}
+		for j := range vec {
+			vec[j] = 0
+		}
+		if h&halfEmb != 0 {
+			getHalf(vec[:dim])
+		}
+		if h&halfCtx != 0 {
+			getHalf(vec[dim:])
+		}
+		if err := fn(node, h, vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

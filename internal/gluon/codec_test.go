@@ -1,0 +1,300 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"graphword2vec/internal/xrand"
+)
+
+// allFlagCombos enumerates every legal codec-byte value.
+var allFlagCombos = []byte{
+	0,
+	wireVarint,
+	wireHalves,
+	wireFP16,
+	wireVarint | wireHalves,
+	wireVarint | wireFP16,
+	wireHalves | wireFP16,
+	wireVarint | wireHalves | wireFP16,
+}
+
+// randomIndexSet draws a sorted strictly-ascending index set of the
+// given size from [0, span).
+func randomIndexSet(r *xrand.Rand, size, span int) []int32 {
+	seen := make(map[int32]bool, size)
+	for len(seen) < size {
+		seen[int32(r.Intn(span))] = true
+	}
+	nodes := make([]int32, 0, size)
+	for n := int32(0); n < int32(span) && len(nodes) < size; n++ {
+		if seen[n] {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// TestCodecRoundTripProperty: random index sets — empty, singleton,
+// sparse, dense — with random payloads (including zero halves) must
+// survive encode → decode exactly under every flag combination; fp16
+// flags round-trip through the half-precision quantizer.
+func TestCodecRoundTripProperty(t *testing.T) {
+	r := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + r.Intn(9)
+		span := 1 + r.Intn(2000)
+		var nodes []int32
+		switch trial % 4 {
+		case 0: // empty
+		case 1: // singleton
+			nodes = []int32{int32(r.Intn(span))}
+		case 2: // dense: the full contiguous range
+			nodes = make([]int32, span)
+			for i := range nodes {
+				nodes[i] = int32(i)
+			}
+		default: // sparse random
+			nodes = randomIndexSet(r, 1+r.Intn(min(span, 64)), span)
+		}
+		flags := allFlagCombos[trial%len(allFlagCombos)]
+
+		vals := make(map[int32][]float32, len(nodes))
+		for _, n := range nodes {
+			vec := make([]float32, 2*dim)
+			switch r.Intn(4) {
+			case 0: // zero embedding half
+				for i := dim; i < 2*dim; i++ {
+					vec[i] = float32(r.Float64()*2 - 1)
+				}
+			case 1: // zero training half
+				for i := 0; i < dim; i++ {
+					vec[i] = float32(r.Float64()*2 - 1)
+				}
+			case 2: // all zero
+			default:
+				for i := range vec {
+					vec[i] = float32(r.Float64()*2 - 1)
+				}
+			}
+			vals[n] = vec
+		}
+
+		msg := encodeVectorFrame(kindReduce, uint32(trial), flags, dim, nodes, nil, func(n int32, dst []float32) {
+			copy(dst, vals[n])
+		})
+		var got []int32
+		err := decodeVectorFrame(msg, dim, flags, func(n int32, half byte, vec []float32) error {
+			got = append(got, n)
+			want := vals[n]
+			for i, v := range want {
+				expect := v
+				if flags&wireFP16 != 0 {
+					expect = float16frombits(float16bits(v))
+				}
+				if flags&wireHalves != 0 {
+					// Suppressed halves decode as exact zeros.
+					if i < dim && half&halfEmb == 0 || i >= dim && half&halfCtx == 0 {
+						expect = 0
+					}
+				}
+				if vec[i] != expect {
+					return fmt.Errorf("trial %d flags %#x node %d [%d]: got %v want %v", trial, flags, n, i, vec[i], expect)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(nodes) {
+			t.Fatalf("trial %d: decoded %d entries, want %d", trial, len(got), len(nodes))
+		}
+		for i := range got {
+			if got[i] != nodes[i] {
+				t.Fatalf("trial %d: node order %v, want %v", trial, got, nodes)
+			}
+		}
+	}
+}
+
+// TestCodecRejectsCorruptVarint: every way a varint index section can be
+// malformed must produce a decode error, not a wrong answer or a panic.
+func TestCodecRejectsCorruptVarint(t *testing.T) {
+	dim := 2
+	flags := wireVarint | wireHalves
+	good := encodeVectorFrame(kindReduce, 1, flags, dim, []int32{3, 10}, nil, func(n int32, dst []float32) {
+		for i := range dst {
+			dst[i] = float32(n) + float32(i)
+		}
+	})
+	decode := func(msg []byte) error {
+		return decodeVectorFrame(msg, dim, flags, func(int32, byte, []float32) error { return nil })
+	}
+	if err := decode(good); err != nil {
+		t.Fatalf("control frame rejected: %v", err)
+	}
+
+	corrupt := func(name string, mutate func(msg []byte) []byte) {
+		msg := append([]byte(nil), good...)
+		if err := decode(mutate(msg)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	corrupt("truncated varint (continuation bit into nothing)", func(msg []byte) []byte {
+		// Frame reduced to the header, codec byte, and a lone 0x80: an
+		// unterminated varint.
+		return append(msg[:headerBytes+1:headerBytes+1], 0x80)
+	})
+	corrupt("zero index delta", func(msg []byte) []byte {
+		msg[headerBytes+2] = 0 // second entry's gap → 0: not ascending
+		return msg
+	})
+	corrupt("varint overflow", func(msg []byte) []byte {
+		over := append(msg[:headerBytes+1:headerBytes+1], 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+		return over
+	})
+	corrupt("index above int32", func(msg []byte) []byte {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], uint64(math.MaxInt32)+1)
+		return append(append(msg[:headerBytes+1:headerBytes+1], tmp[:n]...), msg[headerBytes+2:]...)
+	})
+	corrupt("count larger than body", func(msg []byte) []byte {
+		binary.LittleEndian.PutUint32(msg[5:], 1<<30)
+		return msg
+	})
+	corrupt("payload truncated", func(msg []byte) []byte {
+		return msg[:len(msg)-3]
+	})
+	corrupt("trailing garbage", func(msg []byte) []byte {
+		return append(msg, 0xAB)
+	})
+	corrupt("nonzero mask padding", func(msg []byte) []byte {
+		// Two entries use the low 4 bits of the mask byte; set a pad bit.
+		msg[headerBytes+3] |= 0xF0
+		return msg
+	})
+	corrupt("codec mismatch", func(msg []byte) []byte {
+		msg[headerBytes] = wireVarint
+		return msg
+	})
+	corrupt("unknown codec bits", func(msg []byte) []byte {
+		msg[headerBytes] |= 1 << 6
+		return msg
+	})
+}
+
+// TestCodecParse covers the -wire flag surface.
+func TestCodecParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Codec
+	}{{"packed", CodecPacked}, {"", CodecPacked}, {"raw", CodecRaw}, {"fp16", CodecFP16}} {
+		got, err := ParseCodec(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCodec(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseCodec("bogus"); err == nil {
+		t.Error("bogus codec accepted")
+	}
+	if CodecPacked.String() != "packed" || CodecRaw.String() != "raw" || CodecFP16.String() != "fp16" {
+		t.Error("codec names wrong")
+	}
+	if err := Codec(42).Validate(); err == nil {
+		t.Error("unknown codec validated")
+	}
+	if !CodecPacked.Lossless() || !CodecRaw.Lossless() || CodecFP16.Lossless() {
+		t.Error("Lossless wrong")
+	}
+	var zero Codec
+	if zero != CodecPacked {
+		t.Error("the zero Codec must be the packed default")
+	}
+}
+
+// TestFloat16ExhaustiveRoundTrip: every non-NaN half value must survive
+// f16 → f32 → f16 bit-exactly (float32 represents all halves exactly).
+func TestFloat16ExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		f := float16frombits(uint16(h))
+		if math.IsNaN(float64(f)) {
+			if uint16(h)&0x7C00 != 0x7C00 || uint16(h)&0x03FF == 0 {
+				t.Fatalf("non-NaN bits %#04x decoded to NaN", h)
+			}
+			continue
+		}
+		if got := float16bits(f); got != uint16(h) {
+			t.Fatalf("h=%#04x → %v → %#04x", h, f, got)
+		}
+	}
+}
+
+// TestFloat16QuantizationErrorBound: for values in the half-precision
+// normal range, round-to-nearest-even keeps the relative error within
+// 2⁻¹¹ (half a unit in the last place of a 10-bit mantissa).
+func TestFloat16QuantizationErrorBound(t *testing.T) {
+	r := xrand.New(99)
+	const relBound = 1.0 / 2048
+	for i := 0; i < 100000; i++ {
+		// Log-uniform magnitudes across the normal half range
+		// [2⁻¹⁴, 65504), signs mixed.
+		e := r.Float64()*29 - 14 // exponent in [-14, 15)
+		v := float32(math.Pow(2, e) * (1 + r.Float64()))
+		if v >= 65504 {
+			continue
+		}
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		q := float16frombits(float16bits(v))
+		if rel := math.Abs(float64(q-v)) / math.Abs(float64(v)); rel > relBound {
+			t.Fatalf("quantizing %v → %v: relative error %v > %v", v, q, rel, relBound)
+		}
+	}
+}
+
+// TestFloat16SpecialValues pins the edge behaviour the codec depends on.
+func TestFloat16SpecialValues(t *testing.T) {
+	if float16frombits(float16bits(0)) != 0 {
+		t.Error("zero not preserved")
+	}
+	if b := float16bits(float32(math.Copysign(0, -1))); b != 0x8000 {
+		t.Errorf("-0 → %#04x", b)
+	}
+	if got := float16frombits(float16bits(float32(math.Inf(1)))); !math.IsInf(float64(got), 1) {
+		t.Errorf("+Inf → %v", got)
+	}
+	if got := float16frombits(float16bits(1e10)); !math.IsInf(float64(got), 1) {
+		t.Errorf("overflow 1e10 → %v, want +Inf", got)
+	}
+	if got := float16frombits(float16bits(-1e10)); !math.IsInf(float64(got), -1) {
+		t.Errorf("overflow -1e10 → %v, want -Inf", got)
+	}
+	if got := float16frombits(float16bits(float32(math.NaN()))); !math.IsNaN(float64(got)) {
+		t.Errorf("NaN → %v", got)
+	}
+	if got := float16frombits(float16bits(1e-10)); got != 0 {
+		t.Errorf("underflow 1e-10 → %v, want 0", got)
+	}
+	// Subnormal halves survive: 2⁻²⁴ is the smallest positive half.
+	tiny := float32(math.Pow(2, -24))
+	if got := float16frombits(float16bits(tiny)); got != tiny {
+		t.Errorf("smallest subnormal %v → %v", tiny, got)
+	}
+	// Exact halves stay exact.
+	for _, v := range []float32{1, -1, 0.5, 2048, 65504, -65504} {
+		if got := float16frombits(float16bits(v)); got != v {
+			t.Errorf("exact half %v → %v", v, got)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

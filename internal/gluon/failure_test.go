@@ -25,7 +25,7 @@ func TestSyncFailsCleanlyOnClosedTransport(t *testing.T) {
 	}
 	init := model.New(10, 4)
 	init.InitRandom(3)
-	hs, err := NewHostSync(0, part, tr, 4, RepModelOpt, combine.NewModelCombiner(8))
+	hs, err := NewHostSync(0, part, tr, 4, RepModelOpt, combine.NewModelCombiner(8), CodecPacked)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +64,13 @@ func TestSyncRejectsForeignRangeMessages(t *testing.T) {
 	}
 	defer tr.Close()
 	init := model.New(10, 2)
-	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{})
+	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{}, CodecPacked)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Host 1 sends a reduce entry for node 9 — owned by host 1 itself,
 	// not host 0 (host 0 owns [0,5)).
-	msg := vectorMessage(kindReduce, 0, 2, []int32{9}, func(_ int32, dst []float32) {
+	msg := testVectorFrame(kindReduce, 0, 2, []int32{9}, func(_ int32, dst []float32) {
 		dst[0] = 1
 	})
 	if err := tr.Send(1, 0, msg); err != nil {
@@ -102,16 +102,16 @@ func TestSyncRejectsForeignBroadcast(t *testing.T) {
 	}
 	defer tr.Close()
 	init := model.New(10, 2)
-	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{})
+	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{}, CodecPacked)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Valid empty reduce, then a broadcast claiming a node host 1 does
 	// not own (node 0 is host 0's).
-	if err := tr.Send(1, 0, vectorMessage(kindReduce, 0, 2, nil, nil)); err != nil {
+	if err := tr.Send(1, 0, testVectorFrame(kindReduce, 0, 2, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
-	bad := vectorMessage(kindBroadcast, 0, 2, []int32{0}, func(_ int32, dst []float32) { dst[0] = 42 })
+	bad := testVectorFrame(kindBroadcast, 0, 2, []int32{0}, func(_ int32, dst []float32) { dst[0] = 42 })
 	if err := tr.Send(1, 0, bad); err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestSyncRejectsUnexpectedAccessMessage(t *testing.T) {
 	}
 	defer tr.Close()
 	init := model.New(10, 2)
-	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{})
+	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{}, CodecPacked)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestSyncRejectsCorruptPayload(t *testing.T) {
 	}
 	defer tr.Close()
 	init := model.New(10, 2)
-	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{})
+	hs0, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{}, CodecPacked)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestSyncModelSizeMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	hs, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{})
+	hs, err := NewHostSync(0, part, tr, 2, RepModelOpt, combine.Sum{}, CodecPacked)
 	if err != nil {
 		t.Fatal(err)
 	}

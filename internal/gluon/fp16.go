@@ -1,0 +1,85 @@
+package gluon
+
+import "math"
+
+// IEEE 754 binary16 ("half precision") conversion for the lossy fp16
+// payload codec (PROTOCOL.md §5). Pure software conversion with
+// round-to-nearest-even, the same rounding hardware converters use, so
+// every host — and both execution modes — quantizes identically; that
+// is what keeps fp16 runs bit-identical between the simulated cluster
+// and a real TCP mesh even though they are not bit-identical to
+// lossless runs.
+
+// float16bits converts f to its binary16 bit pattern with
+// round-to-nearest-even. Values above the half-precision range become
+// ±Inf, values below the smallest subnormal become ±0, and NaN maps to
+// a quiet NaN.
+func float16bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int(b>>23) & 0xFF
+	mant := b & 0x007FFFFF
+
+	if exp == 0xFF { // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	}
+	e := exp - 127 + 15
+	if e >= 0x1F { // overflow → Inf
+		return sign | 0x7C00
+	}
+	if e <= 0 { // subnormal half (or underflow to zero)
+		if e < -10 {
+			return sign // below 2⁻²⁴·½: rounds to zero
+		}
+		// Value = 1.mant × 2^(e-15); as a multiple of 2⁻²⁴ that is
+		// (mant | implicit bit) >> (14-e), rounded to nearest even.
+		// Rounding can carry into the exponent field, which then
+		// correctly encodes the smallest normal half.
+		mant |= 0x00800000
+		shift := uint(14 - e) // in [14, 24]
+		v := mant >> shift
+		rem := mant & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && v&1 == 1) {
+			v++
+		}
+		return sign | uint16(v)
+	}
+	// Normal half: drop 13 mantissa bits with round-to-nearest-even. A
+	// mantissa carry may overflow into the exponent; that is correct,
+	// including the carry from the largest finite half into Inf.
+	v := uint32(e)<<10 | mant>>13
+	rem := mant & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+		v++
+	}
+	return sign | uint16(v)
+}
+
+// float16frombits expands a binary16 bit pattern to float32. The
+// conversion is exact: every half value is representable as a float32.
+func float16frombits(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h & 0x03FF)
+
+	switch {
+	case exp == 0x1F: // Inf or NaN
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13)
+	case exp != 0: // normal
+		return math.Float32frombits(sign | (exp+112)<<23 | mant<<13)
+	case mant == 0: // ±0
+		return math.Float32frombits(sign)
+	}
+	// Subnormal half = mant × 2⁻²⁴: normalise into a float32.
+	k := uint32(0)
+	for mant&0x0400 == 0 {
+		mant <<= 1
+		k++
+	}
+	mant &= 0x03FF
+	return math.Float32frombits(sign | (113-k)<<23 | mant<<13)
+}

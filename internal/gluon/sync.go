@@ -104,12 +104,13 @@ func (s *Stats) Add(other Stats) {
 // model data; the distributed trainer passes its local and base replicas
 // to each Sync call. HostSync is not safe for concurrent use.
 type HostSync struct {
-	host int
-	part *graph.Partition
-	tr   Transport
-	dim  int
-	mode Mode
-	comb combine.Combiner
+	host  int
+	part  *graph.Partition
+	tr    Transport
+	dim   int
+	mode  Mode
+	comb  combine.Combiner
+	codec Codec
 
 	// stats accumulates sent-side traffic.
 	stats Stats
@@ -123,10 +124,13 @@ type HostSync struct {
 	// Populated during round r for use in round r+1... cleared on use.
 	accessByHost []*bitset.Bitset
 
-	// slots[localIdx][h] holds host h's decoded delta for owned node
-	// lo+localIdx during the current round's combine.
-	slots      [][]deltaSlot
-	touchedAny *bitset.Bitset
+	// acc stages every host's decoded deltas for our master range until
+	// the round's combine (decode-side accumulation, see
+	// combine.Accumulator).
+	acc *combine.Accumulator
+
+	// scratch is a reusable 2·dim vector for local delta extraction.
+	scratch []float32
 }
 
 type pendingKey struct {
@@ -139,14 +143,12 @@ type pendingMsg struct {
 	payload []byte
 }
 
-type deltaSlot struct {
-	vec []float32 // nil if host contributed nothing
-}
-
 // NewHostSync creates the sync engine for one host. comb is the reduction
 // operator applied at masters (paper §4.3); dim is the model
-// dimensionality (payload vectors have length 2·dim).
-func NewHostSync(host int, part *graph.Partition, tr Transport, dim int, mode Mode, comb combine.Combiner) (*HostSync, error) {
+// dimensionality (payload vectors have length 2·dim); codec selects the
+// wire payload encoding (PROTOCOL.md §4–5) and must be identical on
+// every host of the cluster.
+func NewHostSync(host int, part *graph.Partition, tr Transport, dim int, mode Mode, comb combine.Combiner, codec Codec) (*HostSync, error) {
 	if host < 0 || host >= part.NumHosts() {
 		return nil, fmt.Errorf("gluon: host %d out of range [0,%d)", host, part.NumHosts())
 	}
@@ -159,20 +161,21 @@ func NewHostSync(host int, part *graph.Partition, tr Transport, dim int, mode Mo
 	if comb == nil {
 		return nil, fmt.Errorf("gluon: nil combiner")
 	}
+	if err := codec.Validate(); err != nil {
+		return nil, err
+	}
 	lo, hi := part.MasterRange(host)
 	hs := &HostSync{
-		host:       host,
-		part:       part,
-		tr:         tr,
-		dim:        dim,
-		mode:       mode,
-		comb:       comb,
-		pending:    make(map[pendingKey][]pendingMsg),
-		slots:      make([][]deltaSlot, hi-lo),
-		touchedAny: bitset.New(part.NumNodes()),
-	}
-	for i := range hs.slots {
-		hs.slots[i] = make([]deltaSlot, part.NumHosts())
+		host:    host,
+		part:    part,
+		tr:      tr,
+		dim:     dim,
+		mode:    mode,
+		comb:    comb,
+		codec:   codec,
+		pending: make(map[pendingKey][]pendingMsg),
+		acc:     combine.NewAccumulator(lo, hi, part.NumHosts(), dim),
+		scratch: make([]float32, 2*dim),
 	}
 	if mode == PullModel {
 		hs.accessByHost = make([]*bitset.Bitset, part.NumHosts())
@@ -188,6 +191,33 @@ func (hs *HostSync) Stats() Stats { return hs.stats }
 
 // Mode returns the synchronisation scheme.
 func (hs *HostSync) Mode() Mode { return hs.mode }
+
+// Codec returns the configured wire codec.
+func (hs *HostSync) Codec() Codec { return hs.codec }
+
+// frameFlags maps the configured codec to the flag set actually applied
+// to one message kind (the per-kind policy of PROTOCOL.md §5): fp16 is
+// reduce-only — broadcasts and gathers carry canonical master values,
+// which must stay exact for replicas to remain consistent — and
+// half-suppression never applies where an absent half could not be
+// reconstructed by the receiver (PullModel broadcasts serve arbitrarily
+// stale mirrors; gathers assemble a fresh model from nothing).
+func (hs *HostSync) frameFlags(kind byte) byte {
+	f := hs.codec.flags()
+	switch kind {
+	case kindReduce:
+		return f
+	case kindBroadcast:
+		f &^= wireFP16
+		if hs.mode == PullModel {
+			f &^= wireHalves
+		}
+		return f
+	case kindGather:
+		return f &^ (wireFP16 | wireHalves)
+	}
+	return 0
+}
 
 // Sync runs one bulk-synchronous synchronisation round (Algorithm 1 line
 // 10). local is this host's working replica, base the replica state as of
@@ -226,13 +256,15 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 	}
 
 	// Phase B: send reduce messages — our deltas for nodes owned by each
-	// other host.
+	// other host. The half mask is derived from the delta content:
+	// an all-zero half is suppressed on the wire exactly as a zero value
+	// would be dropped by the accumulator on arrival.
 	for g := 0; g < nHosts; g++ {
 		if g == h {
 			continue
 		}
 		nodes := hs.reduceSet(g, touched)
-		msg := vectorMessage(kindReduce, round, hs.dim, nodes, func(n int32, dst []float32) {
+		msg := encodeVectorFrame(kindReduce, round, hs.frameFlags(kindReduce), hs.dim, nodes, nil, func(n int32, dst []float32) {
 			nodeDelta(local, base, n, dst)
 		})
 		if err := hs.send(g, msg); err != nil {
@@ -247,15 +279,31 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 	if err := hs.gatherReduces(round, local, base, touched); err != nil {
 		return err
 	}
-	hs.combineOwned(local, base, touched)
+	hs.combineOwned(local, base)
 
-	// Phase D: broadcast canonical masters per the mode's rule.
+	// Phase D: broadcast canonical masters per the mode's rule. In the
+	// RepModel schemes only the halves some host actually updated ship;
+	// PullModel mirrors may be stale, so their pulls carry full values.
+	var halfAt func(int32) byte
+	if hs.mode != PullModel {
+		halfAt = func(n int32) byte {
+			var half byte
+			emb, ctx := hs.acc.Halves(int(n))
+			if emb {
+				half |= halfEmb
+			}
+			if ctx {
+				half |= halfCtx
+			}
+			return half
+		}
+	}
 	for g := 0; g < nHosts; g++ {
 		if g == h {
 			continue
 		}
 		nodes := hs.broadcastSet(g)
-		msg := vectorMessage(kindBroadcast, round, hs.dim, nodes, func(n int32, dst []float32) {
+		msg := encodeVectorFrame(kindBroadcast, round, hs.frameFlags(kindBroadcast), hs.dim, nodes, halfAt, func(n int32, dst []float32) {
 			nodeValue(local, n, dst)
 		})
 		if err := hs.send(g, msg); err != nil {
@@ -270,7 +318,7 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 		return err
 	}
 
-	hs.resetRound()
+	hs.acc.Reset()
 	return nil
 }
 
@@ -280,7 +328,8 @@ func (hs *HostSync) send(to int, payload []byte) error {
 	return hs.tr.Send(hs.host, to, payload)
 }
 
-// reduceSet returns the node ids whose deltas we ship to owner g.
+// reduceSet returns the node ids whose deltas we ship to owner g, in
+// ascending order (the wire format's index invariant).
 func (hs *HostSync) reduceSet(g int, touched *bitset.Bitset) []int32 {
 	lo, hi := hs.part.MasterRange(g)
 	var nodes []int32
@@ -316,7 +365,7 @@ func (hs *HostSync) broadcastSet(g int) []int32 {
 	case RepModelOpt:
 		// Updated on any host → broadcast to every mirror.
 		for n := lo; n < hi; n++ {
-			if hs.touchedAny.Get(n) {
+			if hs.acc.Touched(n) {
 				nodes = append(nodes, int32(n))
 			}
 		}
@@ -333,7 +382,8 @@ func (hs *HostSync) broadcastSet(g int) []int32 {
 }
 
 // gatherReduces receives one reduce message from every peer (buffering
-// out-of-phase messages) and records the decoded deltas plus our own.
+// out-of-phase messages) and stages the decoded deltas plus our own in
+// the accumulator.
 func (hs *HostSync) gatherReduces(round uint32, local, base *model.Model, touched *bitset.Bitset) error {
 	lo, hi := hs.part.MasterRange(hs.host)
 
@@ -343,24 +393,22 @@ func (hs *HostSync) gatherReduces(round uint32, local, base *model.Model, touche
 		if !include {
 			continue
 		}
-		vec := make([]float32, 2*hs.dim)
-		nodeDelta(local, base, int32(n), vec)
-		hs.recordDelta(n, hs.host, vec)
+		nodeDelta(local, base, int32(n), hs.scratch)
+		hs.acc.Record(n, hs.host, hs.scratch)
 	}
 
+	want := hs.frameFlags(kindReduce)
 	need := hs.part.NumHosts() - 1
 	for need > 0 {
 		from, payload, err := hs.nextMessage(kindReduce, round)
 		if err != nil {
 			return err
 		}
-		err = forEachVectorEntry(payload, hs.dim, func(node int32, vec []float32) error {
+		err = decodeVectorFrame(payload, hs.dim, want, func(node int32, _ byte, vec []float32) error {
 			if int(node) < lo || int(node) >= hi {
 				return fmt.Errorf("gluon: host %d sent reduce for node %d outside our range [%d,%d)", from, node, lo, hi)
 			}
-			cp := make([]float32, len(vec))
-			copy(cp, vec)
-			hs.recordDelta(int(node), from, cp)
+			hs.acc.Record(int(node), from, vec)
 			return nil
 		})
 		if err != nil {
@@ -371,46 +419,26 @@ func (hs *HostSync) gatherReduces(round uint32, local, base *model.Model, touche
 	return nil
 }
 
-// recordDelta stores one host's delta for an owned node, skipping exact
-// zeros so that dense (Naive) and sparse (Opt/Pull) modes feed the
-// reduction operator identical inputs.
-func (hs *HostSync) recordDelta(node, from int, vec []float32) {
-	if isZeroVec(vec) {
-		return
-	}
-	lo, _ := hs.part.MasterRange(hs.host)
-	hs.slots[node-lo][from] = deltaSlot{vec: vec}
-	hs.touchedAny.Set(node)
-}
-
-// combineOwned folds the gathered deltas with the reduction operator and
+// combineOwned folds the staged deltas with the reduction operator and
 // installs canonical values into both local and base for our range.
-func (hs *HostSync) combineOwned(local, base *model.Model, touched *bitset.Bitset) {
+func (hs *HostSync) combineOwned(local, base *model.Model) {
 	lo, hi := hs.part.MasterRange(hs.host)
 	combined := make([]float32, 2*hs.dim)
-	var deltas [][]float32
 	for n := lo; n < hi; n++ {
-		if !hs.touchedAny.Get(n) {
+		if !hs.acc.Fold(hs.comb, n, combined) {
 			continue
 		}
-		deltas = deltas[:0]
-		for _, slot := range hs.slots[n-lo] {
-			if slot.vec != nil {
-				deltas = append(deltas, slot.vec)
-			}
-		}
-		if len(deltas) == 0 {
-			continue
-		}
-		hs.comb.Combine(combined, deltas)
 		// canonical = base + combined, written into local and base.
 		applyCanonical(local, base, int32(n), combined, hs.dim)
 	}
 }
 
 // gatherBroadcasts receives one broadcast from every peer and installs the
-// canonical values into local and base.
+// canonical values into local and base. Only the halves present on the
+// wire are applied: an absent half means the sender's combine left that
+// half's canonical value untouched, so our replica is already current.
 func (hs *HostSync) gatherBroadcasts(round uint32, local, base *model.Model) error {
+	want := hs.frameFlags(kindBroadcast)
 	need := hs.part.NumHosts() - 1
 	for need > 0 {
 		from, payload, err := hs.nextMessage(kindBroadcast, round)
@@ -418,12 +446,12 @@ func (hs *HostSync) gatherBroadcasts(round uint32, local, base *model.Model) err
 			return err
 		}
 		fromLo, fromHi := hs.part.MasterRange(from)
-		err = forEachVectorEntry(payload, hs.dim, func(node int32, vec []float32) error {
+		err = decodeVectorFrame(payload, hs.dim, want, func(node int32, half byte, vec []float32) error {
 			if int(node) < fromLo || int(node) >= fromHi {
 				return fmt.Errorf("gluon: host %d broadcast node %d outside its range [%d,%d)", from, node, fromLo, fromHi)
 			}
-			setNodeValue(local, node, vec, hs.dim)
-			setNodeValue(base, node, vec, hs.dim)
+			setNodeHalves(local, node, half, vec, hs.dim)
+			setNodeHalves(base, node, half, vec, hs.dim)
 			return nil
 		})
 		if err != nil {
@@ -526,13 +554,14 @@ func (hs *HostSync) GatherMasters(local *model.Model) (*model.Model, error) {
 	if local.VocabSize() != hs.part.NumNodes() {
 		return nil, fmt.Errorf("gluon: model size %d does not match partition %d", local.VocabSize(), hs.part.NumNodes())
 	}
+	flags := hs.frameFlags(kindGather)
 	if hs.host != 0 {
 		lo, hi := hs.part.MasterRange(hs.host)
 		nodes := make([]int32, 0, hi-lo)
 		for n := lo; n < hi; n++ {
 			nodes = append(nodes, int32(n))
 		}
-		msg := vectorMessage(kindGather, 0, hs.dim, nodes, func(n int32, dst []float32) {
+		msg := encodeVectorFrame(kindGather, 0, flags, hs.dim, nodes, nil, func(n int32, dst []float32) {
 			nodeValue(local, n, dst)
 		})
 		if err := hs.send(0, msg); err != nil {
@@ -553,11 +582,11 @@ func (hs *HostSync) GatherMasters(local *model.Model) (*model.Model, error) {
 			return nil, fmt.Errorf("gluon: gather recv: %w", err)
 		}
 		fromLo, fromHi := hs.part.MasterRange(from)
-		err = forEachVectorEntry(payload, hs.dim, func(node int32, vec []float32) error {
+		err = decodeVectorFrame(payload, hs.dim, flags, func(node int32, half byte, vec []float32) error {
 			if int(node) < fromLo || int(node) >= fromHi {
 				return fmt.Errorf("gluon: host %d gathered node %d outside its range [%d,%d)", from, node, fromLo, fromHi)
 			}
-			setNodeValue(out, node, vec, hs.dim)
+			setNodeHalves(out, node, half, vec, hs.dim)
 			return nil
 		})
 		if err != nil {
@@ -565,21 +594,6 @@ func (hs *HostSync) GatherMasters(local *model.Model) (*model.Model, error) {
 		}
 	}
 	return out, nil
-}
-
-// resetRound clears per-round state.
-func (hs *HostSync) resetRound() {
-	lo, hi := hs.part.MasterRange(hs.host)
-	for n := lo; n < hi; n++ {
-		if !hs.touchedAny.Get(n) {
-			continue
-		}
-		row := hs.slots[n-lo]
-		for i := range row {
-			row[i] = deltaSlot{}
-		}
-	}
-	hs.touchedAny.Reset()
 }
 
 // nodeDelta writes (local − base) for node n's concatenated labels.
@@ -596,10 +610,15 @@ func nodeValue(m *model.Model, n int32, dst []float32) {
 	copy(dst[dim:], m.CtxRow(n))
 }
 
-// setNodeValue installs a concatenated label vector into node n.
-func setNodeValue(m *model.Model, n int32, vec []float32, dim int) {
-	copy(m.EmbRow(n), vec[:dim])
-	copy(m.CtxRow(n), vec[dim:])
+// setNodeHalves installs the present halves of a concatenated label
+// vector into node n, leaving absent halves untouched.
+func setNodeHalves(m *model.Model, n int32, half byte, vec []float32, dim int) {
+	if half&halfEmb != 0 {
+		copy(m.EmbRow(n), vec[:dim])
+	}
+	if half&halfCtx != 0 {
+		copy(m.CtxRow(n), vec[dim:])
+	}
 }
 
 // applyCanonical sets node n to base + combined in both replicas.
@@ -610,13 +629,4 @@ func applyCanonical(local, base *model.Model, n int32, combined []float32, dim i
 	vecmath.Axpy(1, combined[dim:], ctx)
 	copy(local.EmbRow(n), emb)
 	copy(local.CtxRow(n), ctx)
-}
-
-func isZeroVec(v []float32) bool {
-	for _, x := range v {
-		if x != 0 {
-			return false
-		}
-	}
-	return true
 }

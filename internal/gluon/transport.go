@@ -16,9 +16,23 @@
 //     pass announces the node set each host will access next round, and
 //     masters are sent only to the mirrors that will read them.
 //
-// Hosts exchange messages over a pluggable Transport; an in-process
-// channel transport drives the simulated cluster and a TCP transport
-// (transport_tcp.go) exercises the identical protocol over real sockets.
+// Beyond the per-round reduce/broadcast/access messages, the wire
+// protocol carries cluster-control traffic: tagged barriers (used by the
+// distributed runner's start/finish fences) and a final gather in which
+// every owner ships its canonical master range to rank 0 for model
+// assembly. Vector payloads pass through a pluggable codec (codec.go):
+// by default index sets are varint-delta compressed and all-zero vector
+// halves are suppressed — losslessly, runs stay bit-identical — and an
+// opt-in fp16 codec additionally quantizes reduce deltas to IEEE half
+// precision. The complete frame-level specification, the handshake, and
+// the version-bump policy are documented in PROTOCOL.md.
+//
+// Hosts exchange messages over a pluggable Transport: an in-process
+// channel transport drives the simulated cluster, a TCP transport
+// (transport_tcp.go) exercises the identical protocol over real sockets
+// inside one process, and DialMesh (transport_mesh.go) bootstraps a
+// verified multi-process TCP mesh with a version/checksum/codec
+// handshake.
 package gluon
 
 import (

@@ -14,20 +14,25 @@ import (
 // published address; for each unordered pair the lower rank dials the
 // higher one (the same convention NewTCPCluster uses), and the two ends
 // exchange a hello frame carrying the protocol version, the dialer's
-// rank, the cluster size, and a caller-supplied configuration checksum.
-// A mismatch in any of these aborts the bootstrap on both sides, so a
-// worker started with the wrong flags fails loudly instead of training
-// a silently divergent model.
+// rank, the cluster size, a caller-supplied configuration checksum, and
+// the wire codec. A mismatch in any of these aborts the bootstrap on
+// both sides, so a worker started with the wrong flags — or built at a
+// different wire-format version — fails loudly at connect time instead
+// of training a silently divergent model.
 //
 // Hello frame, all little-endian: magic "GW2VMESH" (8 bytes),
 // version (uint32), sender rank (uint32), cluster size (uint32),
-// checksum (uint64).
+// checksum (uint64), wire codec (1 byte). See PROTOCOL.md §6.
 
 const (
-	meshMagic   = "GW2VMESH"
-	meshVersion = 1
+	meshMagic = "GW2VMESH"
+	// meshVersion is the wire protocol version. Version 2 introduced the
+	// payload codec layer (codec byte in vector frames, varint-delta
+	// indices, half suppression, optional fp16) and added the codec byte
+	// to this hello; see PROTOCOL.md §7 for the bump policy.
+	meshVersion = 2
 	// meshHelloBytes is the encoded hello size.
-	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8
+	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8 + 1
 	// meshDialRetry is the pause between connection attempts while a
 	// peer's listener is not up yet.
 	meshDialRetry = 100 * time.Millisecond
@@ -48,6 +53,10 @@ type MeshConfig struct {
 	// Checksum fingerprints the training configuration; all ranks must
 	// agree (see core.Config.Checksum).
 	Checksum uint64
+	// Wire is the payload codec this rank will apply to sync traffic;
+	// all ranks must agree (the codec changes the bytes on the wire, so
+	// a mixed mesh could not even parse its peers' frames).
+	Wire Codec
 	// Timeout bounds the whole bootstrap — listening, dialing every
 	// peer (with retries while peers start up), and handshakes.
 	// Zero means 30 seconds.
@@ -61,6 +70,9 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 	n := len(cfg.Peers)
 	if n == 0 {
 		return nil, fmt.Errorf("gluon: mesh needs at least one peer address")
+	}
+	if err := cfg.Wire.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Rank < 0 || cfg.Rank >= n {
 		return nil, fmt.Errorf("gluon: mesh rank %d out of range [0,%d)", cfg.Rank, n)
@@ -225,6 +237,7 @@ func writeHello(conn net.Conn, cfg MeshConfig, deadline time.Time) error {
 	binary.LittleEndian.PutUint32(buf[off+4:], uint32(cfg.Rank))
 	binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(cfg.Peers)))
 	binary.LittleEndian.PutUint64(buf[off+12:], cfg.Checksum)
+	buf[off+20] = byte(cfg.Wire)
 	if _, err := conn.Write(buf); err != nil {
 		return fmt.Errorf("gluon: mesh rank %d hello write: %w", cfg.Rank, err)
 	}
@@ -232,26 +245,39 @@ func writeHello(conn net.Conn, cfg MeshConfig, deadline time.Time) error {
 }
 
 // readHello reads and validates a peer's hello frame, returning the
-// peer's rank.
+// peer's rank. The magic and version are read (and checked) before the
+// version-dependent remainder, so a peer speaking a different protocol
+// version — whose hello may be a different length — fails fast instead
+// of stalling both sides until the bootstrap deadline.
 func readHello(conn net.Conn, cfg MeshConfig, deadline time.Time) (int, error) {
 	conn.SetDeadline(deadline)
 	buf := make([]byte, meshHelloBytes)
-	if _, err := io.ReadFull(conn, buf); err != nil {
+	off := len(meshMagic)
+	if _, err := io.ReadFull(conn, buf[:off+4]); err != nil {
 		return 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
 	}
-	if string(buf[:len(meshMagic)]) != meshMagic {
+	if string(buf[:off]) != meshMagic {
 		return 0, fmt.Errorf("gluon: mesh rank %d: peer is not a gw2v worker (bad magic)", cfg.Rank)
 	}
-	off := len(meshMagic)
 	version := binary.LittleEndian.Uint32(buf[off:])
+	if version != meshVersion {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer protocol version %d, want %d — all workers must run the same build (PROTOCOL.md §7)", cfg.Rank, version, meshVersion)
+	}
+	if _, err := io.ReadFull(conn, buf[off+4:]); err != nil {
+		return 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
+	}
 	rank := binary.LittleEndian.Uint32(buf[off+4:])
 	size := binary.LittleEndian.Uint32(buf[off+8:])
 	sum := binary.LittleEndian.Uint64(buf[off+12:])
-	if version != meshVersion {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer protocol version %d, want %d", cfg.Rank, version, meshVersion)
-	}
+	wire := Codec(buf[off+20])
 	if int(size) != len(cfg.Peers) {
 		return 0, fmt.Errorf("gluon: mesh rank %d: peer cluster size %d, ours %d", cfg.Rank, size, len(cfg.Peers))
+	}
+	// The codec is checked before the checksum: core.Config.Checksum
+	// folds the codec too, so a -wire mismatch would otherwise always
+	// surface as the generic checksum error instead of this named one.
+	if wire != cfg.Wire {
+		return 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d wire codec %v, ours %v — all workers must pass the same -wire", cfg.Rank, rank, wire, cfg.Wire)
 	}
 	if sum != cfg.Checksum {
 		return 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d config checksum %#x, ours %#x — workers must share identical corpus and flags", cfg.Rank, rank, sum, cfg.Checksum)

@@ -3,22 +3,23 @@ package gluon
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 )
 
-// Wire format. Every message starts with a fixed header:
+// Wire format, version 2 — the byte-level contract is specified in
+// PROTOCOL.md and pinned by the golden frames under testdata/; change
+// either only together with a mesh protocol version bump.
 //
-//	byte 0     kind (reduce / broadcast / access)
+// Every message starts with a fixed header:
+//
+//	byte 0     kind (reduce / broadcast / access / gather / barrier)
 //	bytes 1–4  round number (uint32 LE)
 //	bytes 5–8  entry count (uint32 LE)
 //
-// Reduce and broadcast entries are (nodeID uint32, vec [2·dim]float32):
-// the node's concatenated (embedding ‖ training) label delta or value.
-// Access messages carry a bit-vector restricted to the receiver's master
-// range: (lo uint32, bits uint32, packed bytes).
-// Gather and barrier messages reuse the same header; gather payloads are
-// vector entries (an owner's canonical master rows), barrier payloads are
-// empty and use the round field as a caller-chosen tag.
+// Vector frames (reduce, broadcast, gather) continue with a codec byte
+// and codec-dependent index / mask / payload sections — see codec.go.
+// Access messages carry a bit-vector restricted to the receiver's
+// master range: (lo uint32, bits uint32, packed bytes). Barrier
+// payloads are empty and use the round field as a caller-chosen tag.
 const (
 	kindReduce    byte = 1
 	kindBroadcast byte = 2
@@ -28,9 +29,6 @@ const (
 
 	headerBytes = 9
 )
-
-// entryBytes returns the encoded size of one reduce/broadcast entry.
-func entryBytes(dim int) int { return 4 + 8*dim }
 
 // putHeader writes the message header into buf[:headerBytes].
 func putHeader(buf []byte, kind byte, round, count uint32) {
@@ -52,57 +50,6 @@ func barrierMessage(tag uint32) []byte {
 	buf := make([]byte, headerBytes)
 	putHeader(buf, kindBarrier, tag, 0)
 	return buf
-}
-
-// vectorMessage builds a reduce or broadcast message for the given node
-// ids. vecAt must return the 2·dim-float payload for a node.
-func vectorMessage(kind byte, round uint32, dim int, nodes []int32, vecAt func(node int32, dst []float32)) []byte {
-	eb := entryBytes(dim)
-	buf := make([]byte, headerBytes+len(nodes)*eb)
-	putHeader(buf, kind, round, uint32(len(nodes)))
-	tmp := make([]float32, 2*dim)
-	off := headerBytes
-	for _, n := range nodes {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(n))
-		vecAt(n, tmp)
-		vo := off + 4
-		for _, v := range tmp {
-			binary.LittleEndian.PutUint32(buf[vo:], math.Float32bits(v))
-			vo += 4
-		}
-		off += eb
-	}
-	return buf
-}
-
-// forEachVectorEntry decodes a reduce/broadcast payload, invoking fn with
-// each node id and its decoded 2·dim vector. The vector slice is reused
-// across calls; fn must copy if it retains it.
-func forEachVectorEntry(payload []byte, dim int, fn func(node int32, vec []float32) error) error {
-	_, _, count, err := parseHeader(payload)
-	if err != nil {
-		return err
-	}
-	eb := entryBytes(dim)
-	want := headerBytes + int(count)*eb
-	if len(payload) != want {
-		return fmt.Errorf("gluon: message length %d, want %d for %d entries", len(payload), want, count)
-	}
-	vec := make([]float32, 2*dim)
-	off := headerBytes
-	for i := uint32(0); i < count; i++ {
-		node := int32(binary.LittleEndian.Uint32(payload[off:]))
-		vo := off + 4
-		for j := range vec {
-			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[vo:]))
-			vo += 4
-		}
-		if err := fn(node, vec); err != nil {
-			return err
-		}
-		off += eb
-	}
-	return nil
 }
 
 // accessMessage packs the bits [lo, hi) of isSet into an access

@@ -4,15 +4,34 @@ import (
 	"testing"
 )
 
-func TestVectorMessageRoundTrip(t *testing.T) {
-	dim := 3
-	nodes := []int32{5, 9, 2}
-	vals := map[int32][]float32{
-		5: {1, 2, 3, 4, 5, 6},
-		9: {-1, 0, 1, 0.5, -0.5, 7},
-		2: {0, 0, 0, 0, 0, 0},
+// testFrameFlags returns the flag set a CodecPacked HostSync applies to
+// the given vector-frame kind (reduce keeps the full set; gather strips
+// half suppression).
+func testFrameFlags(kind byte) byte {
+	if kind == kindGather {
+		return wireVarint
 	}
-	msg := vectorMessage(kindReduce, 42, dim, nodes, func(n int32, dst []float32) {
+	return wireVarint | wireHalves
+}
+
+// testVectorFrame builds a vector frame the way a CodecPacked host
+// would, for tests that hand-craft protocol traffic.
+func testVectorFrame(kind byte, round uint32, dim int, nodes []int32, vecAt func(int32, []float32)) []byte {
+	if vecAt == nil {
+		vecAt = func(int32, []float32) {}
+	}
+	return encodeVectorFrame(kind, round, testFrameFlags(kind), dim, nodes, nil, vecAt)
+}
+
+func TestVectorFrameRoundTrip(t *testing.T) {
+	dim := 3
+	nodes := []int32{2, 5, 9}
+	vals := map[int32][]float32{
+		2: {0, 0, 0, 0, 0, 0},    // zero delta: both halves suppressed
+		5: {1, 2, 3, 4, 5, 6},    // dense
+		9: {-1, 0.5, 7, 0, 0, 0}, // training half suppressed
+	}
+	msg := encodeVectorFrame(kindReduce, 42, wireVarint|wireHalves, dim, nodes, nil, func(n int32, dst []float32) {
 		copy(dst, vals[n])
 	})
 	kind, round, count, err := parseHeader(msg)
@@ -23,7 +42,7 @@ func TestVectorMessageRoundTrip(t *testing.T) {
 		t.Fatalf("header = (%d, %d, %d)", kind, round, count)
 	}
 	var gotNodes []int32
-	err = forEachVectorEntry(msg, dim, func(n int32, vec []float32) error {
+	err = decodeVectorFrame(msg, dim, wireVarint|wireHalves, func(n int32, half byte, vec []float32) error {
 		gotNodes = append(gotNodes, n)
 		want := vals[n]
 		for i := range vec {
@@ -31,23 +50,27 @@ func TestVectorMessageRoundTrip(t *testing.T) {
 				t.Fatalf("node %d vec = %v, want %v", n, vec, want)
 			}
 		}
+		wantHalf := nonzeroHalves(want, dim)
+		if half != wantHalf {
+			t.Fatalf("node %d half mask = %#x, want %#x", n, half, wantHalf)
+		}
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(gotNodes) != 3 || gotNodes[0] != 5 || gotNodes[1] != 9 || gotNodes[2] != 2 {
+	if len(gotNodes) != 3 || gotNodes[0] != 2 || gotNodes[1] != 5 || gotNodes[2] != 9 {
 		t.Fatalf("nodes = %v", gotNodes)
 	}
 }
 
-func TestVectorMessageEmpty(t *testing.T) {
-	msg := vectorMessage(kindBroadcast, 7, 4, nil, nil)
-	if len(msg) != headerBytes {
+func TestVectorFrameEmpty(t *testing.T) {
+	msg := testVectorFrame(kindBroadcast, 7, 4, nil, nil)
+	if len(msg) != headerBytes+1 {
 		t.Fatalf("empty message length = %d", len(msg))
 	}
 	n := 0
-	if err := forEachVectorEntry(msg, 4, func(int32, []float32) error { n++; return nil }); err != nil {
+	if err := decodeVectorFrame(msg, 4, testFrameFlags(kindBroadcast), func(int32, byte, []float32) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 {
@@ -55,14 +78,20 @@ func TestVectorMessageEmpty(t *testing.T) {
 	}
 }
 
-func TestForEachVectorEntryRejectsCorrupt(t *testing.T) {
-	if err := forEachVectorEntry([]byte{1, 2}, 4, nil); err == nil {
+func TestDecodeVectorFrameRejectsCorrupt(t *testing.T) {
+	if err := decodeVectorFrame([]byte{1, 2}, 4, 0, nil); err == nil {
 		t.Error("short message accepted")
 	}
+	// Header only, no codec byte.
+	msg := make([]byte, headerBytes)
+	putHeader(msg, kindReduce, 1, 0)
+	if err := decodeVectorFrame(msg, 4, 0, nil); err == nil {
+		t.Error("frame without codec byte accepted")
+	}
 	// Valid header claiming 2 entries but truncated body.
-	msg := make([]byte, headerBytes+5)
+	msg = make([]byte, headerBytes+3)
 	putHeader(msg, kindReduce, 1, 2)
-	if err := forEachVectorEntry(msg, 4, nil); err == nil {
+	if err := decodeVectorFrame(msg, 4, 0, nil); err == nil {
 		t.Error("truncated message accepted")
 	}
 }
