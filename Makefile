@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable bench-smoke cross-arm64 vet fmt-check fmt docs-check
 
-all: fmt-check vet docs-check build test-short
+all: fmt-check vet docs-check build test-short test-portable cross-arm64
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,20 @@ test:
 # CI lane: fast tests only, race detector on.
 test-short:
 	$(GO) test -short -race ./...
+
+# Portable-kernel lanes (DESIGN.md §7): runtime SIMD switch-off over the
+# compute packages, then the purego build tag over everything.
+test-portable:
+	GW2V_NOSIMD=1 $(GO) test -short ./internal/vecmath/ ./internal/sgns/ ./internal/core/ ./internal/harness/
+	$(GO) test -short -tags purego ./...
+
+# One-iteration benchmark run: keeps every benchmark executable.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/vecmath/ ./internal/sgns/
+
+# arm64 must compile (simd_stub path).
+cross-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
 
 vet:
 	$(GO) vet ./...

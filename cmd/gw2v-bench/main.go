@@ -14,33 +14,56 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"graphword2vec/internal/cliutil"
 	"graphword2vec/internal/harness"
 	"graphword2vec/internal/synth"
 )
 
 var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
-	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync", "comm-volume"}
+	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync", "comm-volume",
+	"throughput"}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gw2v-bench: ")
 	var (
-		expStr   = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(experiments, ", "))
-		scaleStr = flag.String("scale", "tiny", "dataset scale: tiny, small, or full")
-		hosts    = flag.Int("hosts", 0, "cluster size for Tables 2-3 / Figures 6-7 (0 = 32)")
-		epochs   = flag.Int("epochs", 0, "training epochs (0 = 16)")
-		dim      = flag.Int("dim", 0, "embedding dimensionality (0 = scale default)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		benchOut = flag.String("bench-json", "", "write the comm-volume rows as JSON to this path (e.g. BENCH_comm.json)")
+		expStr     = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(experiments, ", "))
+		scaleStr   = flag.String("scale", "tiny", "dataset scale: tiny, small, or full")
+		hosts      = flag.Int("hosts", 0, "cluster size for Tables 2-3 / Figures 6-7 (0 = 32)")
+		epochs     = flag.Int("epochs", 0, "training epochs (0 = 16)")
+		dim        = flag.Int("dim", 0, "embedding dimensionality (0 = scale default)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		benchOut   = flag.String("bench-json", "", "write the comm-volume / throughput rows as JSON to this path (e.g. BENCH_comm.json); with -experiment all the last writer wins")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
 
-	scale, err := synth.ParseScale(*scaleStr)
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	// log.Fatalf would skip the deferred stop (os.Exit), losing the
+	// profiles of exactly the runs one wants to inspect — flush first.
+	fatalf := func(format string, v ...interface{}) {
+		if perr := stopProfiles(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatalf(format, v...)
+	}
+
+	scale, err := synth.ParseScale(*scaleStr)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	opts := harness.Defaults(scale)
 	opts.Hosts = *hosts
@@ -69,7 +92,7 @@ func main() {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
 		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -109,8 +132,27 @@ func main() {
 		}
 		return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
 	})
+	run("throughput", func() error {
+		rows, err := harness.Throughput(opts)
+		if err != nil || *benchOut == "" {
+			return err
+		}
+		doc := struct {
+			Experiment string                  `json:"experiment"`
+			Scale      string                  `json:"scale"`
+			Seed       uint64                  `json:"seed"`
+			Epochs     int                     `json:"epochs_per_cell"`
+			NumCPU     int                     `json:"num_cpu"`
+			Rows       []harness.ThroughputRow `json:"rows"`
+		}{"throughput", opts.Scale.String(), opts.Seed, harness.ThroughputEpochs, runtime.NumCPU(), rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+	})
 
 	for name := range want {
-		log.Fatalf("unknown experiment %q (valid: %s)", name, strings.Join(experiments, ", "))
+		fatalf("unknown experiment %q (valid: %s)", name, strings.Join(experiments, ", "))
 	}
 }

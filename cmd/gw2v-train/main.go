@@ -42,24 +42,43 @@ func main() {
 		modeStr    = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
 		wireStr    = flag.String("wire", "packed", "sync payload codec: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
 	if *corpusPath == "" {
 		log.Fatal("-corpus is required")
 	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	// log.Fatal would skip the deferred stop (os.Exit), losing the
+	// profiles of exactly the runs one wants to inspect — flush first.
+	fatal := func(v ...interface{}) {
+		if perr := stopProfiles(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatal(v...)
+	}
 
 	// Pass 1: vocabulary (Algorithm 1 line 3).
 	builder, err := corpus.CountFile(*corpusPath)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	voc, err := builder.Build(vocab.Options{MinCount: int64(*minCount), Sample: *sample})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	neg, err := vocab.NewUnigramTable(voc)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("vocabulary: %d words, %d training tokens\n", voc.Size(), voc.TotalWords())
 
@@ -67,11 +86,11 @@ func main() {
 	// the distributed path; here we materialise once and shard in memory).
 	shards, err := corpus.ShardFile(*corpusPath, 1)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	corp, err := corpus.LoadFileShard(*corpusPath, shards[0], voc)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	params := sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: 10000}
@@ -82,7 +101,7 @@ func main() {
 		m.InitRandom(*seed)
 		tr, err := sgns.NewTrainer(m, voc, neg, params)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		st := tr.TrainHogwild(corp.Tokens, sgns.HogwildConfig{
 			Threads: *threads,
@@ -95,11 +114,11 @@ func main() {
 	} else {
 		mode, err := gluon.ParseMode(*modeStr)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		wire, err := gluon.ParseCodec(*wireStr)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cfg := core.DefaultConfig(*hosts)
 		cfg.Epochs = *epochs
@@ -119,11 +138,11 @@ func main() {
 		}
 		tr, err := core.NewTrainer(cfg, voc, neg, corp, *dim)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		res, err := tr.Run()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("trained on %d hosts (%s, %s) in %s; total volume %s\n",
 			*hosts, *combiner, mode, time.Since(start).Round(time.Millisecond),
@@ -132,10 +151,10 @@ func main() {
 	}
 
 	if err := trained.SaveFile(*modelPath); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := cliutil.SaveVocabSidecar(*modelPath, voc); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("saved model to %s\n", *modelPath)
 }

@@ -55,6 +55,17 @@ type Engine struct {
 	touched *bitset.Bitset
 	access  *bitset.Bitset
 
+	// Per-thread compute-round state, allocated once and reused every
+	// round so the steady-state round loop is allocation-free
+	// (TestComputeRoundZeroAllocs): scratch buffers, touched-set and
+	// stats staging for the multi-threaded path, and reseedable
+	// generators (every round derives its stream by Reseed, never by
+	// allocating a new generator).
+	scratches []*sgns.Scratch
+	perThread []*bitset.Bitset
+	perStats  []sgns.Stats
+	rands     []*xrand.Rand
+
 	computeSeconds float64
 	stats          sgns.Stats
 	prevComm       gluon.Stats
@@ -139,7 +150,8 @@ func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	threads := cfg.ThreadsPerHost // ≥ 1, enforced by cfg.Validate above
+	e := &Engine{
 		cfg:         cfg,
 		host:        host,
 		dim:         dim,
@@ -153,7 +165,17 @@ func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, 
 		epochTokens: make(map[int][]int32),
 		touched:     bitset.New(voc.Size()),
 		access:      bitset.New(voc.Size()),
-	}, nil
+		scratches:   make([]*sgns.Scratch, threads),
+		perThread:   make([]*bitset.Bitset, threads),
+		perStats:    make([]sgns.Stats, threads),
+		rands:       make([]*xrand.Rand, threads),
+	}
+	for th := 0; th < threads; th++ {
+		e.scratches[th] = st.NewScratch()
+		e.rands[th] = xrand.New(0)
+		e.perThread[th] = bitset.New(voc.Size())
+	}
+	return e, nil
 }
 
 // Host returns the engine's rank in the cluster.
@@ -221,28 +243,29 @@ func (e *Engine) computeRound(epoch, round int, alpha float32) {
 	e.touched.Reset()
 	start := time.Now()
 	if e.cfg.ThreadsPerHost == 1 {
-		r := xrand.New(e.computeSeed(epoch, round, 0))
-		e.trainer.TrainTokens(chunk, alpha, r, e.touched, &e.stats)
+		r := e.rands[0]
+		r.Reseed(e.computeSeed(epoch, round, 0))
+		e.trainer.TrainTokens(chunk, alpha, r, e.touched, &e.stats, e.scratches[0])
 	} else {
 		threads := e.cfg.ThreadsPerHost
 		var wg sync.WaitGroup
-		perThread := make([]*bitset.Bitset, threads)
-		perStats := make([]sgns.Stats, threads)
 		for th := 0; th < threads; th++ {
 			lo := len(chunk) * th / threads
 			hi := len(chunk) * (th + 1) / threads
-			perThread[th] = bitset.New(e.voc.Size())
+			e.perThread[th].Reset()
+			e.perStats[th] = sgns.Stats{}
 			wg.Add(1)
 			go func(th, lo, hi int) {
 				defer wg.Done()
-				r := xrand.New(e.computeSeed(epoch, round, th))
-				e.trainer.TrainTokens(chunk[lo:hi], alpha, r, perThread[th], &perStats[th])
+				r := e.rands[th]
+				r.Reseed(e.computeSeed(epoch, round, th))
+				e.trainer.TrainTokens(chunk[lo:hi], alpha, r, e.perThread[th], &e.perStats[th], e.scratches[th])
 			}(th, lo, hi)
 		}
 		wg.Wait()
 		for th := 0; th < threads; th++ {
-			e.touched.Or(perThread[th])
-			e.stats.Add(perStats[th])
+			e.touched.Or(e.perThread[th])
+			e.stats.Add(e.perStats[th])
 		}
 	}
 	e.computeSeconds = time.Since(start).Seconds()
@@ -265,8 +288,11 @@ func (e *Engine) inspectNext(epoch, round int) {
 	for th := 0; th < threads; th++ {
 		lo := len(chunk) * th / threads
 		hi := len(chunk) * (th + 1) / threads
-		r := xrand.New(e.computeSeed(nextEpoch, nextRound, th))
-		e.trainer.InspectTokens(chunk[lo:hi], r, e.access)
+		// The compute phase reseeds before every use, so its per-thread
+		// generators are free to reuse here between rounds.
+		r := e.rands[th]
+		r.Reseed(e.computeSeed(nextEpoch, nextRound, th))
+		e.trainer.InspectTokens(chunk[lo:hi], r, e.access, e.scratches[th])
 	}
 }
 

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/sgns"
+	"graphword2vec/internal/vecmath"
+	"graphword2vec/internal/xrand"
+)
+
+// The throughput experiment measures raw compute-side training speed —
+// million worklist tokens per second through the full SGNS operator
+// (subsampling, dynamic windows, negative sampling, gradient updates) —
+// across workloads, dimensionalities, thread counts and kernel sets.
+// It is the perf trajectory every compute-path PR is judged against:
+// word2vec.c-lineage systems win by making this number saturate the
+// hardware (DESIGN.md §2, §7), and the SIMD/generic column pair
+// quantifies exactly what the vectorised kernels buy. Rows are recorded
+// in BENCH_throughput.json and EXPERIMENTS.md.
+
+// ThroughputEpochs is the number of timed passes per cell. Throughput is
+// steady-state per-token cost, so a handful of passes is enough; the
+// first pass doubles as cache warm-up and is included (its effect is
+// amortised away by the later passes).
+const ThroughputEpochs = 3
+
+// ThroughputDims are the embedding dimensionalities measured: the
+// paper's 200 plus the common 100.
+var ThroughputDims = []int{100, 200}
+
+// ThroughputThreads are the Hogwild thread counts measured.
+var ThroughputThreads = []int{1, 2, 4}
+
+// ThroughputRow is one (workload, dim, threads, kernels) cell.
+type ThroughputRow struct {
+	// Workload is "text" (synthetic corpus) or "graph" (random walks).
+	Workload string `json:"workload"`
+	// Dim is the embedding dimensionality.
+	Dim int `json:"dim"`
+	// Threads is the Hogwild thread count.
+	Threads int `json:"threads"`
+	// Kernels names the vecmath kernel set ("sse2", "generic").
+	Kernels string `json:"kernels"`
+	// Tokens is the number of worklist tokens processed (all epochs).
+	Tokens int64 `json:"tokens"`
+	// Pairs is the number of positive training pairs processed.
+	Pairs int64 `json:"pairs"`
+	// Seconds is the wall-clock training time.
+	Seconds float64 `json:"seconds"`
+	// MTokensPerSec is the headline rate: 1e-6 · Tokens / Seconds.
+	MTokensPerSec float64 `json:"mtokens_per_sec"`
+	// SpeedupVsGeneric is MTokensPerSec over the generic-kernel cell
+	// with the same (workload, dim, threads); 1.0 for generic rows and
+	// 0 when no matching generic cell was measured.
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic,omitempty"`
+}
+
+// throughputWorkload is one token stream to measure.
+type throughputWorkload struct {
+	name    string
+	tokens  []int32
+	trainer func(dim int) (*sgns.Trainer, error)
+	params  sgns.Params
+}
+
+// throughputWorkloads materialises the text and graph token streams at
+// opts.Scale. The graph workload's worklist is one epoch of walks from
+// every start vertex (host 0 of 1), the exact stream the engine trains.
+func throughputWorkloads(opts Options) ([]*throughputWorkload, error) {
+	text, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := LoadGraphDataset(opts)
+	if err != nil {
+		return nil, err
+	}
+	r := xrand.New(opts.Seed + 31)
+	walkTokens := graph.Walker.HostEpochTokens(0, 1, 0, false, GraphWalkConfig().WalkLength, r)
+	textParams := sgns.DefaultParams()
+	graphParams := sgns.Params{Window: 5, Negatives: 5, MaxSentenceLength: GraphWalkConfig().WalkLength}
+	return []*throughputWorkload{
+		{
+			name:   "text",
+			tokens: text.Corp.Tokens,
+			params: textParams,
+			trainer: func(dim int) (*sgns.Trainer, error) {
+				m := model.New(text.Vocab.Size(), dim)
+				m.InitRandom(opts.Seed)
+				return sgns.NewTrainer(m, text.Vocab, text.Neg, textParams)
+			},
+		},
+		{
+			name:   "graph",
+			tokens: walkTokens,
+			params: graphParams,
+			trainer: func(dim int) (*sgns.Trainer, error) {
+				m := model.New(graph.Vocab.Size(), dim)
+				m.InitRandom(opts.Seed)
+				return sgns.NewTrainer(m, graph.Vocab, graph.Neg, graphParams)
+			},
+		},
+	}, nil
+}
+
+// measureThroughput times one cell: ThroughputEpochs Hogwild passes over
+// the workload's tokens on a fresh model.
+func measureThroughput(w *throughputWorkload, dim, threads int, alpha float32, seed uint64) (ThroughputRow, error) {
+	tr, err := w.trainer(dim)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	start := time.Now()
+	st := tr.TrainHogwild(w.tokens, sgns.HogwildConfig{
+		Threads: threads,
+		Epochs:  ThroughputEpochs,
+		Alpha:   alpha,
+		Seed:    seed,
+	})
+	elapsed := time.Since(start).Seconds()
+	row := ThroughputRow{
+		Workload: w.name,
+		Dim:      dim,
+		Threads:  threads,
+		Kernels:  vecmath.KernelName(),
+		Tokens:   st.TokensSeen,
+		Pairs:    st.Pairs,
+		Seconds:  elapsed,
+	}
+	if elapsed > 0 {
+		row.MTokensPerSec = float64(st.TokensSeen) / elapsed / 1e6
+	}
+	return row, nil
+}
+
+// Throughput runs the full grid: {text, graph} × ThroughputDims ×
+// ThroughputThreads × {SIMD, generic}, rendering a table to opts.Out and
+// returning the rows (SIMD rows first within each cell). On builds
+// without SIMD kernels only generic rows are produced.
+func Throughput(opts Options) ([]ThroughputRow, error) {
+	opts = opts.WithDefaults()
+	workloads, err := throughputWorkloads(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	kernelSets := []bool{false} // generic only
+	if vecmath.SIMDAvailable() {
+		kernelSets = []bool{true, false}
+	}
+	wasOn := vecmath.SIMDEnabled()
+	defer vecmath.SetSIMD(wasOn)
+
+	type cell struct {
+		workload     string
+		dim, threads int
+	}
+	var rows []ThroughputRow
+	generic := map[cell]float64{} // → generic M tok/s
+	for _, w := range workloads {
+		for _, dim := range ThroughputDims {
+			for _, threads := range ThroughputThreads {
+				for _, simd := range kernelSets {
+					vecmath.SetSIMD(simd)
+					row, err := measureThroughput(w, dim, threads, opts.BaseAlpha, opts.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("harness: throughput %s dim=%d threads=%d: %w", w.name, dim, threads, err)
+					}
+					rows = append(rows, row)
+					if !simd {
+						generic[cell{w.name, dim, threads}] = row.MTokensPerSec
+					}
+				}
+			}
+		}
+	}
+	// Speedups need the generic cells, which are measured last per cell.
+	for i := range rows {
+		g := generic[cell{rows[i].Workload, rows[i].Dim, rows[i].Threads}]
+		if g > 0 {
+			rows[i].SpeedupVsGeneric = rows[i].MTokensPerSec / g
+		}
+	}
+
+	tw := tabwriter.NewWriter(opts.out(), 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Training throughput (scale=%s, %d epochs/cell)\n",
+		opts.Scale, ThroughputEpochs)
+	fmt.Fprintln(tw, "Workload\tDim\tThreads\tKernels\tMtok/s\tvs generic")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.3f\t%.2fx\n",
+			r.Workload, r.Dim, r.Threads, r.Kernels, r.MTokensPerSec, r.SpeedupVsGeneric)
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/synth"
+	"graphword2vec/internal/vecmath"
+)
+
+// TestThroughputSmoke runs the throughput grid on a reduced
+// configuration and sanity-checks the rows: every cell present, positive
+// rates, and a generic reference row per cell.
+func TestThroughputSmoke(t *testing.T) {
+	dims, threads := ThroughputDims, ThroughputThreads
+	ThroughputDims, ThroughputThreads = []int{32}, []int{1}
+	defer func() { ThroughputDims, ThroughputThreads = dims, threads }()
+
+	opts := Defaults(synth.ScaleTiny)
+	rows, err := Throughput(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelSets := 1
+	if vecmath.SIMDAvailable() {
+		kernelSets = 2
+	}
+	if want := 2 * kernelSets; len(rows) != want { // {text, graph} × kernel sets
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	seenGeneric := map[string]bool{}
+	for _, r := range rows {
+		if r.MTokensPerSec <= 0 || r.Tokens <= 0 || r.Pairs <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		if r.Kernels == "generic" {
+			seenGeneric[r.Workload] = true
+			if r.SpeedupVsGeneric != 1 {
+				t.Errorf("generic row speedup = %v, want 1", r.SpeedupVsGeneric)
+			}
+		}
+	}
+	if !seenGeneric["text"] || !seenGeneric["graph"] {
+		t.Errorf("missing generic reference rows: %v", seenGeneric)
+	}
+}
+
+// modelHash returns a hex digest over a model's serialised bytes.
+func modelHash(t *testing.T, m *model.Model) string {
+	t.Helper()
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestModelHashSIMDOnOff is the end-to-end half of the kernel
+// bit-identity contract: a full tiny-scale distributed training run —
+// text and graph presets, the sync stack included — must produce
+// byte-identical models with the SIMD kernels forced on and forced off.
+// This is what guarantees GW2V_NOSIMD=1 (and non-amd64 builds) stay in
+// the same bit-identity class as the SSE2 path that trains CI's models.
+func TestModelHashSIMDOnOff(t *testing.T) {
+	if !vecmath.SIMDAvailable() {
+		t.Skip("no SIMD kernels on this build; nothing to compare")
+	}
+	wasOn := vecmath.SIMDEnabled()
+	defer vecmath.SetSIMD(wasOn)
+
+	opts := Defaults(synth.ScaleTiny)
+	opts.Epochs = 2
+	opts.Hosts = 2
+	opts = opts.WithDefaults()
+
+	trainText := func() string {
+		d, err := LoadDataset("1-billion", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := distConfig(opts, opts.Hosts, 3, "MC", gluon.RepModelOpt, opts.BaseAlpha)
+		res, _, err := runDistributed(d, opts, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return modelHash(t, res.Canonical)
+	}
+	trainGraph := func() string {
+		d, err := LoadGraphDataset(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := TrainGraph(d, opts, "MC", gluon.RepModelOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return modelHash(t, res.Canonical)
+	}
+
+	vecmath.SetSIMD(true)
+	textOn, graphOn := trainText(), trainGraph()
+	vecmath.SetSIMD(false)
+	textOff, graphOff := trainText(), trainGraph()
+
+	if textOn != textOff {
+		t.Errorf("text model hash differs: simd %s vs generic %s", textOn, textOff)
+	}
+	if graphOn != graphOff {
+		t.Errorf("graph model hash differs: simd %s vs generic %s", graphOn, graphOff)
+	}
+}

@@ -18,21 +18,27 @@ import (
 // and because every SGNS read is also a write, the sets are in fact
 // equal. TestInspectMatchesTrain pins this; any change to TrainTokens'
 // randomness consumption must be mirrored here.
-func (t *Trainer) InspectTokens(tokens []int32, r *xrand.Rand, access *bitset.Bitset) {
+//
+// sc supplies the reusable sentence buffer exactly as in TrainTokens;
+// nil allocates a fresh one.
+func (t *Trainer) InspectTokens(tokens []int32, r *xrand.Rand, access *bitset.Bitset, sc *Scratch) {
+	if sc == nil {
+		sc = t.NewScratch()
+	}
 	maxSent := t.Params.MaxSentenceLength
-	sen := make([]int32, 0, maxSent)
 	for start := 0; start < len(tokens); start += maxSent {
 		end := start + maxSent
 		if end > len(tokens) {
 			end = len(tokens)
 		}
-		sen = sen[:0]
+		sen := sc.sen[:0]
 		for _, w := range tokens[start:end] {
 			if t.Vocab.Keep(w, r) {
 				sen = append(sen, w)
 			}
 		}
 		t.inspectSentence(sen, r, access)
+		sc.sen = sen
 	}
 }
 

@@ -54,8 +54,8 @@ func TestInspectMatchesTrain(t *testing.T) {
 		touched := bitset.New(tr.Vocab.Size())
 		access := bitset.New(tr.Vocab.Size())
 		var st Stats
-		tr.TrainTokens(tokens, 0.05, xrand.New(99), touched, &st)
-		tr.InspectTokens(tokens, xrand.New(99), access)
+		tr.TrainTokens(tokens, 0.05, xrand.New(99), touched, &st, nil)
+		tr.InspectTokens(tokens, xrand.New(99), access, nil)
 		for i := 0; i < tr.Vocab.Size(); i++ {
 			if touched.Get(i) != access.Get(i) {
 				t.Fatalf("params %+v: node %d touched=%v access=%v", params, i, touched.Get(i), access.Get(i))
@@ -81,8 +81,8 @@ func TestInspectMatchesTrainWithSubsampling(t *testing.T) {
 	touched := bitset.New(tr.Vocab.Size())
 	access := bitset.New(tr.Vocab.Size())
 	var st Stats
-	tr.TrainTokens(tokens, 0.05, xrand.New(5), touched, &st)
-	tr.InspectTokens(tokens, xrand.New(5), access)
+	tr.TrainTokens(tokens, 0.05, xrand.New(5), touched, &st, nil)
+	tr.InspectTokens(tokens, xrand.New(5), access, nil)
 	for i := 0; i < tr.Vocab.Size(); i++ {
 		if touched.Get(i) != access.Get(i) {
 			t.Fatalf("node %d touched=%v access=%v", i, touched.Get(i), access.Get(i))
@@ -97,7 +97,7 @@ func TestInspectDoesNotTouchModel(t *testing.T) {
 	text := strings.Repeat("p q r s ", 50)
 	tr, tokens := buildTiny(t, text, 8, Params{Window: 2, Negatives: 4})
 	before := tr.Model.Clone()
-	tr.InspectTokens(tokens, xrand.New(1), bitset.New(tr.Vocab.Size()))
+	tr.InspectTokens(tokens, xrand.New(1), bitset.New(tr.Vocab.Size()), nil)
 	for i := range before.Emb.Data {
 		if tr.Model.Emb.Data[i] != before.Emb.Data[i] || tr.Model.Ctx.Data[i] != before.Ctx.Data[i] {
 			t.Fatal("inspection modified the model")

@@ -119,15 +119,40 @@ func NewTrainer(m *model.Model, v *vocab.Vocabulary, neg *vocab.UnigramTable, p 
 	return &Trainer{Model: m, Vocab: v, Neg: neg, Params: p}, nil
 }
 
+// Scratch holds the per-worker reusable buffers of the SGNS hot path:
+// the gradient-accumulation vector and the subsampled-sentence buffer.
+// Threading one Scratch per worker through TrainTokens makes the
+// steady-state training loop allocation-free (TestTrainTokensZeroAllocs
+// pins 0 allocs/op). A Scratch is not safe for concurrent use; create
+// one per goroutine with Trainer.NewScratch.
+type Scratch struct {
+	neu1e []float32
+	sen   []int32
+}
+
+// NewScratch returns scratch buffers sized for this trainer's
+// dimensionality and maximum sentence length.
+func (t *Trainer) NewScratch() *Scratch {
+	maxSent := t.Params.MaxSentenceLength
+	if maxSent <= 0 {
+		maxSent = 10000
+	}
+	return &Scratch{
+		neu1e: make([]float32, t.Model.Dim),
+		sen:   make([]int32, 0, maxSent),
+	}
+}
+
 // TrainTokens applies the SGNS operator to one worklist chunk at a fixed
 // learning rate alpha, updating the model in place. If touched is non-nil,
 // every node whose labels were written is recorded in it (this feeds the
 // RepModel-Opt sparse synchronisation). r must be owned by the caller.
-func (t *Trainer) TrainTokens(tokens []int32, alpha float32, r *xrand.Rand, touched *bitset.Bitset, st *Stats) {
-	dim := t.Model.Dim
-	neu1e := make([]float32, dim)
-	sen := make([]int32, 0, t.Params.MaxSentenceLength)
-
+// sc supplies the reusable hot-path buffers; nil allocates a fresh set
+// (convenient for one-shot callers, allocation-free when reused).
+func (t *Trainer) TrainTokens(tokens []int32, alpha float32, r *xrand.Rand, touched *bitset.Bitset, st *Stats, sc *Scratch) {
+	if sc == nil {
+		sc = t.NewScratch()
+	}
 	for start := 0; start < len(tokens); start += t.Params.MaxSentenceLength {
 		end := start + t.Params.MaxSentenceLength
 		if end > len(tokens) {
@@ -136,7 +161,7 @@ func (t *Trainer) TrainTokens(tokens []int32, alpha float32, r *xrand.Rand, touc
 		// Subsample the sentence up front, as word2vec.c does while
 		// reading: discarded tokens vanish, shrinking effective
 		// distances and widening effective context.
-		sen = sen[:0]
+		sen := sc.sen[:0]
 		for _, w := range tokens[start:end] {
 			st.TokensSeen++
 			if t.Vocab.Keep(w, r) {
@@ -144,7 +169,8 @@ func (t *Trainer) TrainTokens(tokens []int32, alpha float32, r *xrand.Rand, touc
 				st.TokensKept++
 			}
 		}
-		t.trainSentence(sen, alpha, r, touched, st, neu1e)
+		t.trainSentence(sen, alpha, r, touched, st, sc.neu1e)
+		sc.sen = sen // retain any growth for the next sentence
 	}
 }
 
@@ -198,8 +224,9 @@ func (t *Trainer) trainPair(context, center int32, alpha float32, r *xrand.Rand,
 			st.LossSum += pairLoss(float64(f), label)
 			st.LossEdges++
 		}
-		vecmath.Axpy(g, ctx, neu1e)
-		vecmath.Axpy(g, emb, ctx)
+		// Fused neu1e += g·ctx; ctx += g·emb — one pass over the row
+		// pair, bit-identical to the two Axpys it replaces.
+		vecmath.UpdatePair(emb, ctx, neu1e, g)
 		if touched != nil {
 			touched.Set(int(target))
 		}
@@ -268,6 +295,7 @@ func (t *Trainer) TrainHogwild(tokens []int32, cfg HogwildConfig) Stats {
 			go func(chunk []int32, r *xrand.Rand, progressBase int64) {
 				defer wg.Done()
 				var st Stats
+				sc := t.NewScratch() // reused across every piece
 				// Decay alpha in sub-chunks so long epochs see the
 				// word2vec.c linear schedule rather than a constant.
 				const piece = 10000
@@ -282,7 +310,7 @@ func (t *Trainer) TrainHogwild(tokens []int32, cfg HogwildConfig) Stats {
 					if alpha < cfg.Alpha*1e-4 {
 						alpha = cfg.Alpha * 1e-4
 					}
-					t.TrainTokens(chunk[off:end], alpha, r, nil, &st)
+					t.TrainTokens(chunk[off:end], alpha, r, nil, &st, sc)
 					done += int64(end - off)
 				}
 				statsCh <- st
@@ -351,8 +379,9 @@ func (t *Trainer) TrainBatched(tokens []int32, cfg BatchedConfig) Stats {
 			go func(r *xrand.Rand) {
 				defer wg.Done()
 				var st Stats
+				sc := t.NewScratch() // reused across every job
 				for j := range jobs {
-					t.TrainTokens(tokens[j.lo:j.hi], j.alpha, r, nil, &st)
+					t.TrainTokens(tokens[j.lo:j.hi], j.alpha, r, nil, &st, sc)
 				}
 				statsCh <- st
 			}(r)

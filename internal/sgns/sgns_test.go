@@ -71,8 +71,8 @@ func TestTrainTokensDeterministic(t *testing.T) {
 	tr1, tok1 := buildTiny(t, text, 8, p)
 	tr2, tok2 := buildTiny(t, text, 8, p)
 	var s1, s2 Stats
-	tr1.TrainTokens(tok1, 0.05, xrand.New(7), nil, &s1)
-	tr2.TrainTokens(tok2, 0.05, xrand.New(7), nil, &s2)
+	tr1.TrainTokens(tok1, 0.05, xrand.New(7), nil, &s1, nil)
+	tr2.TrainTokens(tok2, 0.05, xrand.New(7), nil, &s2, nil)
 	if s1 != s2 {
 		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
 	}
@@ -90,7 +90,7 @@ func TestTrainTokensTouchedTracking(t *testing.T) {
 	touched := bitset.New(tr.Vocab.Size())
 	var st Stats
 	// Train only on the "a b" prefix.
-	tr.TrainTokens(tokens[:200], 0.05, xrand.New(3), touched, &st)
+	tr.TrainTokens(tokens[:200], 0.05, xrand.New(3), touched, &st, nil)
 	if !touched.Get(int(tr.Vocab.ID("a"))) || !touched.Get(int(tr.Vocab.ID("b"))) {
 		t.Error("trained words not marked touched")
 	}
@@ -116,7 +116,7 @@ func TestTouchedIsConservative(t *testing.T) {
 	before := tr.Model.Clone()
 	touched := bitset.New(tr.Vocab.Size())
 	var st Stats
-	tr.TrainTokens(tokens, 0.05, xrand.New(5), touched, &st)
+	tr.TrainTokens(tokens, 0.05, xrand.New(5), touched, &st, nil)
 	for id := 0; id < tr.Vocab.Size(); id++ {
 		changed := false
 		for d := 0; d < tr.Model.Dim; d++ {
@@ -139,10 +139,10 @@ func TestTrainingReducesLoss(t *testing.T) {
 	tr, tokens := buildTiny(t, text, 16, p)
 	r := xrand.New(11)
 	var first, last Stats
-	tr.TrainTokens(tokens, 0.1, r, nil, &first)
+	tr.TrainTokens(tokens, 0.1, r, nil, &first, nil)
 	for i := 0; i < 8; i++ {
 		var st Stats
-		tr.TrainTokens(tokens, 0.1, r, nil, &st)
+		tr.TrainTokens(tokens, 0.1, r, nil, &st, nil)
 		last = st
 	}
 	if last.MeanLoss() >= first.MeanLoss() {
@@ -160,7 +160,7 @@ func TestTrainingLearnsCooccurrence(t *testing.T) {
 	r := xrand.New(2)
 	for i := 0; i < 10; i++ {
 		var st Stats
-		tr.TrainTokens(tokens, 0.1, r, nil, &st)
+		tr.TrainTokens(tokens, 0.1, r, nil, &st, nil)
 	}
 	v := tr.Vocab
 	m := tr.Model
@@ -351,19 +351,58 @@ func TestSubsamplingReducesKept(t *testing.T) {
 		tokens[i] = v.ID("the")
 	}
 	var st Stats
-	tr.TrainTokens(tokens, 0.05, xrand.New(1), nil, &st)
+	tr.TrainTokens(tokens, 0.05, xrand.New(1), nil, &st, nil)
 	if st.TokensKept >= st.TokensSeen/2 {
 		t.Errorf("subsampling kept %d of %d; expected heavy discard", st.TokensKept, st.TokensSeen)
 	}
 }
 
-func BenchmarkTrainTokensDim100(b *testing.B) {
-	text := strings.Repeat("a b c d e f g h i j k l m n o p ", 500)
-	tr, tokens := buildTiny(b, text, 100, Params{Window: 5, Negatives: 15})
+// TestTrainTokensZeroAllocs pins the zero-allocation contract of the
+// steady-state hot path: with a reused Scratch, TrainTokens allocates
+// nothing per call.
+func TestTrainTokensZeroAllocs(t *testing.T) {
+	text := strings.Repeat("a b c d e f g h ", 100)
+	tr, tokens := buildTiny(t, text, 32, Params{Window: 5, Negatives: 5})
+	sc := tr.NewScratch()
+	touched := bitset.New(tr.Vocab.Size())
 	r := xrand.New(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var st Stats
-		tr.TrainTokens(tokens, 0.025, r, nil, &st)
+	var st Stats
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.TrainTokens(tokens, 0.025, r, touched, &st, sc)
+	})
+	if allocs != 0 {
+		t.Errorf("TrainTokens with scratch: %v allocs/op, want 0", allocs)
 	}
 }
+
+// benchTrainTokens runs the training benchmark once per kernel set so
+// SIMD and portable numbers land side by side.
+func benchTrainTokens(b *testing.B, dim int) {
+	text := strings.Repeat("a b c d e f g h i j k l m n o p ", 500)
+	tr, tokens := buildTiny(b, text, dim, Params{Window: 5, Negatives: 15})
+	r := xrand.New(1)
+	sc := tr.NewScratch()
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var st Stats
+			tr.TrainTokens(tokens, 0.025, r, nil, &st, sc)
+		}
+	}
+	wasOn := vecmath.SIMDEnabled()
+	defer vecmath.SetSIMD(wasOn)
+	if vecmath.SIMDAvailable() {
+		vecmath.SetSIMD(true)
+		b.Run(vecmath.KernelName(), run)
+	}
+	vecmath.SetSIMD(false)
+	b.Run("generic", run)
+}
+
+// BenchmarkTrainTokens is the repo's headline compute benchmark: the
+// per-token cost of the full SGNS operator (subsampling, dynamic window,
+// negative sampling, gradient updates) at dim 128. Perf PRs record its
+// before/after in EXPERIMENTS.md.
+func BenchmarkTrainTokens(b *testing.B) { benchTrainTokens(b, 128) }
+
+func BenchmarkTrainTokensDim100(b *testing.B) { benchTrainTokens(b, 100) }

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package vecmath
+
+// No SIMD kernel set on this build: either the architecture has no
+// assembly kernels yet, or the purego build tag compiled them out. The
+// generic kernels installed by dispatch.go's variable initialisers stay
+// in place; SetSIMD(true) reports false.

@@ -4,9 +4,13 @@
 // projection primitive behind the paper's model combiner.
 //
 // Word2Vec-style training is dominated by short dense vector operations
-// (the embedding dimensionality is typically 100–300), so the kernels here
-// are written as straight loops with 4-way manual unrolling, which the Go
-// compiler turns into reasonable scalar code without any assembly.
+// (the embedding dimensionality is typically 100–300). Every kernel has a
+// portable 4-way-unrolled reference implementation (kernels_generic.go)
+// and, on amd64, an SSE2 assembly implementation whose 4-lane layout maps
+// exactly onto the unroll's 4 accumulators, making the two bit-identical
+// (DESIGN.md §7). Dispatch is at runtime (dispatch.go): the `purego`
+// build tag, the GW2V_NOSIMD environment variable, or SetSIMD(false)
+// select the portable kernels.
 package vecmath
 
 import "math"
@@ -14,64 +18,36 @@ import "math"
 // Dot returns the inner product of a and b. The slices must have equal
 // length; this is the caller's responsibility (checked only in debug
 // builds via tests) because Dot sits on the innermost training loop.
-func Dot(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	n := len(a)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	for ; i < n; i++ {
-		s0 += a[i] * b[i]
-	}
-	return s0 + s1 + s2 + s3
-}
+func Dot(a, b []float32) float32 { return dotImpl(a, b) }
 
-// Axpy computes y += alpha * x, the classic BLAS saxpy.
-func Axpy(alpha float32, x, y []float32) {
-	n := len(x)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += alpha * x[i]
-		y[i+1] += alpha * x[i+1]
-		y[i+2] += alpha * x[i+2]
-		y[i+3] += alpha * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += alpha * x[i]
-	}
-}
+// Axpy computes y += alpha * x, the classic BLAS saxpy. x and y must not
+// overlap unless they are identical slices.
+func Axpy(alpha float32, x, y []float32) { axpyImpl(alpha, x, y) }
 
 // Scale computes x *= alpha in place.
-func Scale(alpha float32, x []float32) {
-	for i := range x {
-		x[i] *= alpha
-	}
-}
+func Scale(alpha float32, x []float32) { scaleImpl(alpha, x) }
 
 // Zero sets every element of x to 0.
-func Zero(x []float32) {
-	for i := range x {
-		x[i] = 0
-	}
-}
+func Zero(x []float32) { zeroImpl(x) }
 
-// Add computes dst = a + b element-wise. dst may alias a or b.
-func Add(dst, a, b []float32) {
-	for i := range dst {
-		dst[i] = a[i] + b[i]
-	}
-}
+// Add computes dst = a + b element-wise over len(dst). dst may alias a
+// or b.
+func Add(dst, a, b []float32) { addImpl(dst, a, b) }
 
-// Sub computes dst = a - b element-wise. dst may alias a or b.
-func Sub(dst, a, b []float32) {
-	for i := range dst {
-		dst[i] = a[i] - b[i]
-	}
-}
+// Sub computes dst = a - b element-wise over len(dst). dst may alias a
+// or b.
+func Sub(dst, a, b []float32) { subImpl(dst, a, b) }
+
+// UpdatePair is the fused SGNS edge update: one pass over the row pair
+// computing
+//
+//	neu1e += g·ctx   (using ctx's values from before the update)
+//	ctx   += g·emb
+//
+// bit-identically to Axpy(g, ctx, neu1e); Axpy(g, emb, ctx) but with half
+// the passes over ctx. All three slices must have equal length and neu1e
+// must not alias emb or ctx.
+func UpdatePair(emb, ctx, neu1e []float32, g float32) { updatePairImpl(emb, ctx, neu1e, g) }
 
 // Norm2Sq returns the squared Euclidean norm ‖x‖².
 func Norm2Sq(x []float32) float32 { return Dot(x, x) }

@@ -287,24 +287,114 @@ func TestMatrixMemoryBytes(t *testing.T) {
 	}
 }
 
+// benchKernelSets runs fn once per available kernel set ("simd",
+// "generic") so every kernel benchmark reports both paths side by side.
+func benchKernelSets(b *testing.B, fn func(b *testing.B)) {
+	b.Helper()
+	wasOn := SIMDEnabled()
+	defer SetSIMD(wasOn)
+	if SIMDAvailable() {
+		SetSIMD(true)
+		b.Run(KernelName(), fn)
+	}
+	SetSIMD(false)
+	b.Run("generic", fn)
+}
+
 func BenchmarkDot200(b *testing.B) {
 	r := xrand.New(1)
 	x, y := randVec(r, 200), randVec(r, 200)
-	b.ResetTimer()
-	var sink float32
-	for i := 0; i < b.N; i++ {
-		sink += Dot(x, y)
-	}
-	_ = sink
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float32
+		for i := 0; i < b.N; i++ {
+			sink += Dot(x, y)
+		}
+		_ = sink
+	})
 }
 
 func BenchmarkAxpy200(b *testing.B) {
 	r := xrand.New(1)
 	x, y := randVec(r, 200), randVec(r, 200)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Axpy(0.001, x, y)
-	}
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Axpy(0.001, x, y)
+		}
+	})
+}
+
+func BenchmarkScale200(b *testing.B) {
+	r := xrand.New(1)
+	x := randVec(r, 200)
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Scale(1.0000001, x)
+		}
+	})
+}
+
+func BenchmarkZero200(b *testing.B) {
+	r := xrand.New(1)
+	x := randVec(r, 200)
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Zero(x)
+		}
+	})
+}
+
+func BenchmarkAdd200(b *testing.B) {
+	r := xrand.New(1)
+	x, y := randVec(r, 200), randVec(r, 200)
+	dst := make([]float32, 200)
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Add(dst, x, y)
+		}
+	})
+}
+
+func BenchmarkSub200(b *testing.B) {
+	r := xrand.New(1)
+	x, y := randVec(r, 200), randVec(r, 200)
+	dst := make([]float32, 200)
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Sub(dst, x, y)
+		}
+	})
+}
+
+// BenchmarkUpdatePair200 measures the fused SGNS edge update against the
+// two-Axpy sequence it replaces.
+func BenchmarkUpdatePair200(b *testing.B) {
+	r := xrand.New(1)
+	emb, ctx, neu := randVec(r, 200), randVec(r, 200), randVec(r, 200)
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			UpdatePair(emb, ctx, neu, 1e-7)
+		}
+	})
+}
+
+// BenchmarkTwoAxpys200 is the unfused baseline UpdatePair replaces.
+func BenchmarkTwoAxpys200(b *testing.B) {
+	r := xrand.New(1)
+	emb, ctx, neu := randVec(r, 200), randVec(r, 200), randVec(r, 200)
+	benchKernelSets(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Axpy(1e-7, ctx, neu)
+			Axpy(1e-7, emb, ctx)
+		}
+	})
 }
 
 func BenchmarkSigmoid(b *testing.B) {

@@ -44,8 +44,16 @@ type Rand struct {
 // New returns a generator deterministically seeded from seed via SplitMix64,
 // as recommended by the xoshiro reference implementation.
 func New(seed uint64) *Rand {
-	sm := NewSplitMix64(seed)
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to exactly the state New(seed) produces, without
+// allocating — the engine's round loop reuses one generator per thread
+// this way instead of allocating one per round.
+func (r *Rand) Reseed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range r.s {
 		r.s[i] = sm.Next()
 	}
@@ -54,7 +62,6 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
