@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-portable bench-smoke cross-arm64 vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke cross-arm64 vet fmt-check fmt docs-check
 
-all: fmt-check vet docs-check build test-short test-portable cross-arm64
+all: fmt-check vet docs-check build test-short test-sync-race test-portable cross-arm64
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,22 @@ test-portable:
 	GW2V_NOSIMD=1 $(GO) test -short ./internal/vecmath/ ./internal/sgns/ ./internal/core/ ./internal/harness/
 	$(GO) test -short -tags purego ./...
 
+# Sync-engine concurrency lane: the parallel encode/decode pipeline,
+# buffer-reuse overlap, free-running out-of-phase rounds and the
+# concurrent accumulator, all under the race detector with repetition.
+test-sync-race:
+	$(GO) test -race -count=2 -run 'TestSync|TestAccumulatorConcurrent' ./internal/gluon/ ./internal/combine/
+
 # One-iteration benchmark run: keeps every benchmark executable.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/vecmath/ ./internal/sgns/
+	$(GO) test -run '^$$' -bench 'BenchmarkSyncRound' -benchtime=1x ./internal/gluon/
+
+# One-epoch sync-latency run on a reduced grid: keeps the experiment
+# executable end-to-end (mirrored as a CI step, like the throughput
+# smoke).
+sync-latency-smoke:
+	$(GO) test -run 'TestSyncLatencySmoke' -count=1 ./internal/harness/
 
 # arm64 must compile (simd_stub path).
 cross-arm64:

@@ -25,7 +25,7 @@ import (
 
 var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
 	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync", "comm-volume",
-	"throughput"}
+	"throughput", "sync-latency"}
 
 func main() {
 	log.SetFlags(0)
@@ -126,6 +126,25 @@ func main() {
 			Seed       uint64                  `json:"seed"`
 			Rows       []harness.CommVolumeRow `json:"rows"`
 		}{"comm-volume", opts.Scale.String(), opts.Hosts, opts.Seed, rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+	})
+	run("sync-latency", func() error {
+		rows, err := harness.SyncLatency(opts)
+		if err != nil || *benchOut == "" {
+			return err
+		}
+		doc := struct {
+			Experiment string                   `json:"experiment"`
+			Scale      string                   `json:"scale"`
+			Seed       uint64                   `json:"seed"`
+			Epochs     int                      `json:"epochs_per_cell"`
+			NumCPU     int                      `json:"num_cpu"`
+			Rows       []harness.SyncLatencyRow `json:"rows"`
+		}{"sync-latency", opts.Scale.String(), opts.Seed, harness.SyncLatencyEpochs, runtime.NumCPU(), rows}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

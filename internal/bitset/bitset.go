@@ -97,6 +97,139 @@ func (b *Bitset) ForEach(fn func(i int)) {
 	}
 }
 
+// rangeWord returns word wi of the set with bits outside [lo, hi) masked
+// off. lo and hi are bit indices; wi<<6 is the word's first bit.
+func (b *Bitset) rangeWord(wi, lo, hi int) uint64 {
+	w := b.words[wi]
+	base := wi << 6
+	if lo > base {
+		w &= ^uint64(0) << uint(lo-base)
+	}
+	if hi < base+64 {
+		w &= ^uint64(0) >> uint(base+64-hi)
+	}
+	return w
+}
+
+// ForEachRange calls fn for every set bit in [lo, hi), ascending. It
+// walks whole 64-bit words — zero words cost one load, set bits are
+// found by trailing-zero counts — so sparse sets iterate in O(range/64 +
+// popcount) instead of O(range) per-bit probes.
+func (b *Bitset) ForEachRange(lo, hi int, fn func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		w := b.rangeWord(wi, lo, hi)
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi<<6 + bit)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendRange appends the indices of the set bits in [lo, hi) to dst in
+// ascending order and returns the extended slice. Like ForEachRange it
+// iterates at word granularity; with a pre-grown dst it performs no
+// allocation, which is what lets the sync engine build per-round node
+// lists allocation-free.
+func (b *Bitset) AppendRange(dst []int32, lo, hi int) []int32 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return dst
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		w := b.rangeWord(wi, lo, hi)
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, int32(wi<<6+bit))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitset) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	c := 0
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		c += bits.OnesCount64(b.rangeWord(wi, lo, hi))
+	}
+	return c
+}
+
+// PackRange serialises bits [lo, hi) of b into dst as a little-endian
+// bit stream: bit j of the stream (dst[j>>3], bit j&7) is bit lo+j of
+// the set. dst must hold (hi-lo+7)/8 bytes; it is fully overwritten,
+// with any padding bits in the final byte cleared. The pack walks words
+// and set bits only, so sparse ranges cost O(range/64 + popcount) — and
+// with a caller-owned dst it allocates nothing.
+func (b *Bitset) PackRange(dst []byte, lo, hi int) {
+	nb := (hi - lo + 7) / 8
+	if len(dst) < nb {
+		panic("bitset: PackRange dst too short")
+	}
+	for i := 0; i < nb; i++ {
+		dst[i] = 0
+	}
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		w := b.rangeWord(wi, lo, hi)
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			j := wi<<6 + bit - lo
+			dst[j>>3] |= 1 << (uint(j) & 7)
+			w &= w - 1
+		}
+	}
+}
+
+// UnpackRange sets every bit of b that is set in the PackRange-format
+// stream src describing bits [lo, hi); bits of b outside the range are
+// left untouched (callers Reset first when they need replacement
+// semantics). src must hold (hi-lo+7)/8 bytes; padding bits in the
+// final byte are ignored.
+func (b *Bitset) UnpackRange(src []byte, lo, hi int) {
+	nb := (hi - lo + 7) / 8
+	if len(src) < nb {
+		panic("bitset: UnpackRange src too short")
+	}
+	for bi := 0; bi < nb; bi++ {
+		by := src[bi]
+		for by != 0 {
+			bit := bits.TrailingZeros8(by)
+			j := bi<<3 + bit
+			if j < hi-lo {
+				b.Set(lo + j)
+			}
+			by &= by - 1
+		}
+	}
+}
+
 // Words exposes the raw backing words (little-endian bit order) so the
 // communication layer can serialise the set without re-walking bits.
 func (b *Bitset) Words() []uint64 { return b.words }

@@ -154,6 +154,139 @@ func TestBitsetMatchesMapModel(t *testing.T) {
 	}
 }
 
+func TestRangeIterationMatchesPerBitProbing(t *testing.T) {
+	// Property: ForEachRange / AppendRange / CountRange over random sets
+	// and random (including degenerate) ranges agree with a per-bit Get
+	// loop — the word-masking of partial edge words is the tricky part.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(400)
+		b := New(n)
+		for i := 0; i < n/3; i++ {
+			b.Set(r.Intn(n))
+		}
+		lo := r.Intn(n + 1)
+		hi := r.Intn(n + 1)
+		if r.Intn(4) == 0 {
+			lo, hi = -3, n+17 // out-of-bounds ranges must clamp
+		}
+		var want []int32
+		for i := max(lo, 0); i < min(hi, n); i++ {
+			if b.Get(i) {
+				want = append(want, int32(i))
+			}
+		}
+		got := b.AppendRange(nil, lo, hi)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		var visited []int32
+		b.ForEachRange(lo, hi, func(i int) { visited = append(visited, int32(i)) })
+		if len(visited) != len(want) {
+			return false
+		}
+		for i := range want {
+			if visited[i] != want[i] {
+				return false
+			}
+		}
+		return b.CountRange(lo, hi) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendRangeReusesDst(t *testing.T) {
+	b := New(128)
+	b.Set(1)
+	b.Set(64)
+	dst := make([]int32, 0, 8)
+	out := b.AppendRange(dst, 0, 128)
+	if &out[0] != &dst[:1][0] {
+		t.Error("AppendRange reallocated despite sufficient capacity")
+	}
+	if len(out) != 2 || out[0] != 1 || out[1] != 64 {
+		t.Errorf("AppendRange = %v", out)
+	}
+	// Appending into a non-empty prefix preserves it.
+	out2 := b.AppendRange(out[:1], 60, 128)
+	if len(out2) != 2 || out2[0] != 1 || out2[1] != 64 {
+		t.Errorf("AppendRange with prefix = %v", out2)
+	}
+}
+
+func TestForEachRangeWholeWordBoundaries(t *testing.T) {
+	b := New(256)
+	for _, i := range []int{0, 63, 64, 127, 128, 191, 192, 255} {
+		b.Set(i)
+	}
+	cases := []struct {
+		lo, hi int
+		want   []int
+	}{
+		{0, 256, []int{0, 63, 64, 127, 128, 191, 192, 255}},
+		{64, 192, []int{64, 127, 128, 191}},
+		{63, 65, []int{63, 64}},
+		{1, 63, nil},
+		{128, 128, nil},
+		{255, 256, []int{255}},
+	}
+	for _, c := range cases {
+		var got []int
+		b.ForEachRange(c.lo, c.hi, func(i int) { got = append(got, i) })
+		if len(got) != len(c.want) {
+			t.Errorf("[%d,%d): got %v, want %v", c.lo, c.hi, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("[%d,%d): got %v, want %v", c.lo, c.hi, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPackUnpackRangeRoundTrip(t *testing.T) {
+	// Property: PackRange → UnpackRange reproduces exactly the bits of
+	// [lo, hi), for random sets and ranges spanning word boundaries.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(400)
+		b := New(n)
+		for i := 0; i < n/2; i++ {
+			b.Set(r.Intn(n))
+		}
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo+1)
+		dst := make([]byte, (hi-lo+7)/8)
+		b.PackRange(dst, lo, hi)
+		// Padding bits of the final byte must be zero (deterministic wire
+		// bytes).
+		if pad := (hi - lo) % 8; pad != 0 && len(dst) > 0 && dst[len(dst)-1]>>uint(pad) != 0 {
+			return false
+		}
+		got := New(n)
+		got.UnpackRange(dst, lo, hi)
+		for i := 0; i < n; i++ {
+			want := b.Get(i) && i >= lo && i < hi
+			if got.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkForEachSparse(b *testing.B) {
 	s := New(1 << 20)
 	r := xrand.New(1)

@@ -1,5 +1,9 @@
 package combine
 
+import (
+	"graphword2vec/internal/bitset"
+)
+
 // Accumulator is the decode-side staging area for one owner's reduction:
 // it collects every host's delta for each node in the owner's master
 // range, then folds them with a Combiner. It owns the per-(node, host)
@@ -16,25 +20,36 @@ package combine
 // nonzero contributions for; the broadcast encoder uses that to ship
 // only the halves whose canonical value can have changed.
 //
-// An Accumulator is not safe for concurrent use. Callers must pass node
-// ids inside [lo, hi) and host ids inside [0, hosts); both are the
-// caller's protocol-validation responsibility (gluon.HostSync range-
-// checks every decoded entry before recording it).
+// Concurrency: every structure Record writes is indexed by (node, host)
+// or by host alone, so concurrent Record calls are safe as long as no
+// two goroutines record for the same host id — exactly the shape of the
+// sync engine's parallel decode, where each peer's frame is decoded by
+// one goroutine into that peer's column. Commit merges the per-host
+// staging into the round's combined view and must be called (serially,
+// after all Records) before Touched, Halves or ForEachTouched. Fold and
+// Reset are serial-only. Callers must pass node ids inside [lo, hi) and
+// host ids inside [0, hosts); both are the caller's protocol-validation
+// responsibility (gluon.HostSync range-checks every decoded entry before
+// recording it).
 type Accumulator struct {
 	lo, hi int
 	hosts  int
 	dim    int
 
 	// slots[(node-lo)*hosts + host] is that host's recorded delta
-	// (length 2·dim), allocated lazily and reused across rounds;
-	// present marks the slots recorded this round.
-	slots   [][]float32
-	present []bool
-	// halves[node-lo] is the OR of recorded nonzero halves (bit 0:
-	// embedding, bit 1: training); nonzero iff the node was touched.
-	halves []uint8
-	// touched lists the nodes recorded this round, for O(touched) Reset.
-	touched []int
+	// (length 2·dim), allocated lazily and reused across rounds.
+	slots [][]float32
+	// halvesBy[(node-lo)*hosts + host] is the half mask host recorded
+	// for node this round (zero = no delta); doubles as the Fold
+	// presence marker.
+	halvesBy []uint8
+	// touchedBy[host] marks the nodes host recorded this round (bit i =
+	// node lo+i). Disjoint per host, merged by Commit.
+	touchedBy []*bitset.Bitset
+
+	// Merged view, valid after Commit until Reset.
+	touched *bitset.Bitset // bit i = node lo+i touched by some host
+	halves  []uint8        // halves[node-lo] = OR of recorded halves
 
 	deltas [][]float32 // Fold scratch
 }
@@ -49,21 +64,28 @@ const (
 // [lo, hi) across the given host count, combining concatenated vectors
 // of length 2·dim.
 func NewAccumulator(lo, hi, hosts, dim int) *Accumulator {
-	return &Accumulator{
-		lo:      lo,
-		hi:      hi,
-		hosts:   hosts,
-		dim:     dim,
-		slots:   make([][]float32, (hi-lo)*hosts),
-		present: make([]bool, (hi-lo)*hosts),
-		halves:  make([]uint8, hi-lo),
-		deltas:  make([][]float32, 0, hosts),
+	a := &Accumulator{
+		lo:        lo,
+		hi:        hi,
+		hosts:     hosts,
+		dim:       dim,
+		slots:     make([][]float32, (hi-lo)*hosts),
+		halvesBy:  make([]uint8, (hi-lo)*hosts),
+		touchedBy: make([]*bitset.Bitset, hosts),
+		touched:   bitset.New(hi - lo),
+		halves:    make([]uint8, hi-lo),
+		deltas:    make([][]float32, 0, hosts),
 	}
+	for h := range a.touchedBy {
+		a.touchedBy[h] = bitset.New(hi - lo)
+	}
+	return a
 }
 
 // Record stores host's delta for node, copying vec (length 2·dim) into
 // the node's slot. All-zero deltas are dropped; a second Record for the
-// same (node, host) in one round overwrites the first.
+// same (node, host) in one round overwrites the first. Safe for
+// concurrent use by goroutines recording for distinct host ids.
 func (a *Accumulator) Record(node, host int, vec []float32) {
 	var h uint8
 	for _, v := range vec[:a.dim] {
@@ -81,10 +103,6 @@ func (a *Accumulator) Record(node, host int, vec []float32) {
 	if h == 0 {
 		return
 	}
-	if a.halves[node-a.lo] == 0 {
-		a.touched = append(a.touched, node)
-	}
-	a.halves[node-a.lo] |= h
 	i := (node-a.lo)*a.hosts + host
 	buf := a.slots[i]
 	if buf == nil {
@@ -92,18 +110,71 @@ func (a *Accumulator) Record(node, host int, vec []float32) {
 		a.slots[i] = buf
 	}
 	copy(buf, vec)
-	a.present[i] = true
+	a.halvesBy[i] = h
+	a.touchedBy[host].Set(node - a.lo)
+}
+
+// Commit merges the per-host staging into the round's combined view:
+// the union touched set and the per-node OR of recorded halves. It must
+// run serially after every Record of the round and before Touched,
+// Halves or ForEachTouched. The per-host touched sets are consumed
+// (cleared word-by-word during the merge), keeping the whole round
+// touched-proportional.
+func (a *Accumulator) Commit() {
+	union := a.touched.Words()
+	for _, tb := range a.touchedBy {
+		words := tb.Words()
+		for wi, w := range words {
+			if w != 0 {
+				union[wi] |= w
+				words[wi] = 0
+			}
+		}
+	}
+	a.touched.ForEach(func(i int) {
+		var h uint8
+		base := i * a.hosts
+		for g := 0; g < a.hosts; g++ {
+			h |= a.halvesBy[base+g]
+		}
+		a.halves[i] = h
+	})
 }
 
 // Touched reports whether any host recorded a nonzero delta for node
-// this round.
+// this round. Valid after Commit.
 func (a *Accumulator) Touched(node int) bool { return a.halves[node-a.lo] != 0 }
+
+// TouchedCount returns the number of touched nodes this round. Valid
+// after Commit.
+func (a *Accumulator) TouchedCount() int { return a.touched.Count() }
+
+// ForEachTouched calls fn for every touched node in ascending order,
+// iterating the merged touched set at word granularity. Valid after
+// Commit.
+func (a *Accumulator) ForEachTouched(fn func(node int)) {
+	lo := a.lo
+	a.touched.ForEach(func(i int) { fn(lo + i) })
+}
+
+// AppendTouched appends the touched node ids to dst in ascending order
+// and returns the extended slice (allocation-free when dst has
+// capacity). Valid after Commit.
+func (a *Accumulator) AppendTouched(dst []int32) []int32 {
+	n := len(dst)
+	dst = a.touched.AppendRange(dst, 0, a.hi-a.lo)
+	for i := n; i < len(dst); i++ {
+		dst[i] += int32(a.lo)
+	}
+	return dst
+}
 
 // Halves reports which halves of node's concatenated vector received a
 // nonzero contribution from some host. A half left false is guaranteed
 // to have an exactly-zero combined delta: the all-zero-half subspace is
 // closed under every Combiner (they only scale and add deltas), so the
-// canonical value of that half cannot change this round.
+// canonical value of that half cannot change this round. Valid after
+// Commit.
 func (a *Accumulator) Halves(node int) (emb, ctx bool) {
 	h := a.halves[node-a.lo]
 	return h&accHalfEmb != 0, h&accHalfCtx != 0
@@ -117,7 +188,7 @@ func (a *Accumulator) Fold(c Combiner, node int, out []float32) bool {
 	base := (node - a.lo) * a.hosts
 	a.deltas = a.deltas[:0]
 	for h := 0; h < a.hosts; h++ {
-		if a.present[base+h] {
+		if a.halvesBy[base+h] != 0 {
 			a.deltas = append(a.deltas, a.slots[base+h])
 		}
 	}
@@ -128,15 +199,28 @@ func (a *Accumulator) Fold(c Combiner, node int, out []float32) bool {
 	return true
 }
 
-// Reset clears this round's recordings in O(touched nodes), keeping the
-// slot buffers for reuse.
+// Reset clears this round's recordings in O(touched nodes + range/64),
+// keeping the slot buffers for reuse. It tolerates uncommitted Records
+// (error paths): per-host staging is cleared unconditionally.
 func (a *Accumulator) Reset() {
-	for _, node := range a.touched {
-		a.halves[node-a.lo] = 0
-		base := (node - a.lo) * a.hosts
+	a.touched.ForEach(func(i int) {
+		a.halves[i] = 0
+		base := i * a.hosts
 		for h := 0; h < a.hosts; h++ {
-			a.present[base+h] = false
+			a.halvesBy[base+h] = 0
 		}
+	})
+	a.touched.Reset()
+	// Normally Commit already consumed these; after an aborted round the
+	// word sweep clears whatever is left — and any halvesBy bytes those
+	// stragglers marked.
+	for _, tb := range a.touchedBy {
+		tb.ForEach(func(i int) {
+			base := i * a.hosts
+			for h := 0; h < a.hosts; h++ {
+				a.halvesBy[base+h] = 0
+			}
+		})
+		tb.Reset()
 	}
-	a.touched = a.touched[:0]
 }

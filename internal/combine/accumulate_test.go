@@ -1,6 +1,9 @@
 package combine
 
 import (
+	"fmt"
+	"sync"
+
 	"testing"
 )
 
@@ -14,6 +17,7 @@ func TestAccumulatorRecordFoldReset(t *testing.T) {
 	a.Record(11, 2, []float32{1, 2, 0, 0}) // embedding half only
 	a.Record(11, 0, []float32{0, 0, 3, 4}) // training half only
 	a.Record(12, 1, []float32{0, 0, 0, 0}) // exact zero: dropped
+	a.Commit()
 
 	if !a.Touched(11) || a.Touched(12) || a.Touched(10) {
 		t.Fatal("touched tracking wrong")
@@ -46,6 +50,7 @@ func TestAccumulatorRecordFoldReset(t *testing.T) {
 
 	// Slot buffers are reused: a new round records cleanly.
 	a.Record(11, 1, []float32{5, 0, 0, 0})
+	a.Commit()
 	if !a.Fold(Sum{}, 11, out) || out[0] != 5 || out[1] != 0 {
 		t.Fatalf("post-reset fold = %v", out)
 	}
@@ -87,6 +92,114 @@ func TestAccumulatorOverwrite(t *testing.T) {
 	a.Fold(Sum{}, 1, out)
 	if out[0] != 7 || out[1] != 0 {
 		t.Fatalf("fold = %v, want overwrite [7 0]", out)
+	}
+}
+
+// TestAccumulatorConcurrentRecord: Records from goroutines handling
+// distinct hosts must land exactly as the serial equivalent — the
+// contract the sync engine's parallel decode leans on. Run under -race
+// this is also the data-race proof for the per-host disjointness.
+func TestAccumulatorConcurrentRecord(t *testing.T) {
+	const lo, hi, hosts, dim = 8, 72, 4, 3
+	serial := NewAccumulator(lo, hi, hosts, dim)
+	conc := NewAccumulator(lo, hi, hosts, dim)
+
+	vecFor := func(node, host int) []float32 {
+		v := make([]float32, 2*dim)
+		if (node+host)%3 == 0 {
+			return v // exact zero: dropped
+		}
+		if node%2 == 0 {
+			v[0] = float32(node*10 + host)
+		}
+		if node%5 != 0 {
+			v[dim+1] = -float32(host + 1)
+		}
+		return v
+	}
+	for host := 0; host < hosts; host++ {
+		for node := lo; node < hi; node += host + 1 {
+			serial.Record(node, host, vecFor(node, host))
+		}
+	}
+	var wg sync.WaitGroup
+	for host := 0; host < hosts; host++ {
+		wg.Add(1)
+		go func(host int) {
+			defer wg.Done()
+			for node := lo; node < hi; node += host + 1 {
+				conc.Record(node, host, vecFor(node, host))
+			}
+		}(host)
+	}
+	wg.Wait()
+	serial.Commit()
+	conc.Commit()
+
+	if s, c := serial.TouchedCount(), conc.TouchedCount(); s != c {
+		t.Fatalf("TouchedCount: serial %d, concurrent %d", s, c)
+	}
+	outS := make([]float32, 2*dim)
+	outC := make([]float32, 2*dim)
+	for node := lo; node < hi; node++ {
+		if serial.Touched(node) != conc.Touched(node) {
+			t.Fatalf("Touched(%d) differs", node)
+		}
+		se, sc := serial.Halves(node)
+		ce, cc := conc.Halves(node)
+		if se != ce || sc != cc {
+			t.Fatalf("Halves(%d) differ", node)
+		}
+		okS := serial.Fold(Sum{}, node, outS)
+		okC := conc.Fold(Sum{}, node, outC)
+		if okS != okC {
+			t.Fatalf("Fold presence differs at node %d", node)
+		}
+		for i := range outS {
+			if okS && outS[i] != outC[i] {
+				t.Fatalf("Fold(%d)[%d]: serial %v, concurrent %v", node, i, outS[i], outC[i])
+			}
+		}
+	}
+}
+
+// TestAccumulatorTouchedIteration: ForEachTouched and AppendTouched
+// visit exactly the touched nodes in ascending id order.
+func TestAccumulatorTouchedIteration(t *testing.T) {
+	a := NewAccumulator(100, 300, 2, 1)
+	want := []int32{100, 163, 164, 299}
+	for _, n := range want {
+		a.Record(int(n), int(n)%2, []float32{1, 0})
+	}
+	a.Commit()
+	var seen []int32
+	a.ForEachTouched(func(n int) { seen = append(seen, int32(n)) })
+	if fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Errorf("ForEachTouched = %v, want %v", seen, want)
+	}
+	dst := make([]int32, 0, 8)
+	got := a.AppendTouched(dst)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("AppendTouched = %v, want %v", got, want)
+	}
+	if a.TouchedCount() != len(want) {
+		t.Errorf("TouchedCount = %d, want %d", a.TouchedCount(), len(want))
+	}
+}
+
+// TestAccumulatorResetWithoutCommit: an aborted round (Records but no
+// Commit) must still reset cleanly — the error-path contract.
+func TestAccumulatorResetWithoutCommit(t *testing.T) {
+	a := NewAccumulator(0, 10, 2, 1)
+	a.Record(3, 1, []float32{1, 1})
+	a.Reset()
+	a.Commit()
+	if a.Touched(3) {
+		t.Fatal("uncommitted record survived Reset")
+	}
+	out := make([]float32, 2)
+	if a.Fold(Sum{}, 3, out) {
+		t.Fatal("uncommitted delta folded after Reset")
 	}
 }
 

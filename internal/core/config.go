@@ -47,6 +47,15 @@ type Config struct {
 	// experiment harness keeps 1 and models intra-host parallelism via
 	// ModeledThreadsPerHost instead (see DESIGN.md).
 	ThreadsPerHost int
+	// SyncWorkers selects each host's synchronisation-round pipeline
+	// (gluon.HostSync.SetSyncWorkers): 1 runs rounds serially, any
+	// larger value encodes/sends/decodes per-peer frames concurrently
+	// (one worker per peer per phase, bounded by the cluster size), 0
+	// picks GOMAXPROCS. Models are byte-identical for every setting —
+	// the reduction fold stays host-ordered — so unlike ThreadsPerHost
+	// this knob is excluded from the cluster checksum and may even
+	// differ between hosts of one cluster.
+	SyncWorkers int
 	// Params are the Skip-Gram hyper-parameters.
 	Params sgns.Params
 	// CombinerName selects the reduction operator: "MC" (the paper's
@@ -122,6 +131,8 @@ func (c *Config) Validate() error {
 		return errors.New("core: MinAlphaFactor must be in [0,1]")
 	case c.ThreadsPerHost <= 0:
 		return errors.New("core: ThreadsPerHost must be positive")
+	case c.SyncWorkers < 0:
+		return errors.New("core: SyncWorkers must be non-negative")
 	}
 	if err := c.Params.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -67,9 +69,20 @@ type Engine struct {
 	rands     []*xrand.Rand
 
 	computeSeconds float64
+	syncSeconds    float64
 	stats          sgns.Stats
 	prevComm       gluon.Stats
 }
+
+// pprof label sets tagging the engine's phases, so -cpuprofile output
+// (cliutil.StartProfiles) attributes samples to compute vs inspect vs
+// sync. Applied via pprof.Do around each phase; goroutines a phase
+// spawns (Hogwild threads, sync workers) inherit the label.
+var (
+	computeLabels = pprof.Labels("gw2v_phase", "compute")
+	inspectLabels = pprof.Labels("gw2v_phase", "inspect")
+	syncLabels    = pprof.Labels("gw2v_phase", "sync")
+)
 
 // validateInputs checks the data a training run needs, shared by
 // NewTrainer and NewEngine.
@@ -146,6 +159,7 @@ func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, 
 	if err != nil {
 		return nil, err
 	}
+	hs.SetSyncWorkers(cfg.SyncWorkers)
 	st, err := sgns.NewTrainer(local, voc, neg, cfg.Params)
 	if err != nil {
 		return nil, err
@@ -201,6 +215,9 @@ type EngineResult struct {
 	Comm gluon.Stats
 	// ComputeSeconds is the host's total measured compute time.
 	ComputeSeconds float64
+	// SyncSeconds is the host's total measured synchronisation wall
+	// time (the blocking Sync calls, including peer wait).
+	SyncSeconds float64
 }
 
 // Run executes the full training loop for this host: for every epoch and
@@ -209,25 +226,36 @@ type EngineResult struct {
 // non-nil, receives this host's per-epoch counters after each epoch.
 func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)) (*EngineResult, error) {
 	res := &EngineResult{Host: e.host}
+	ctx := context.Background()
 	globalRound := uint32(0)
 	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
 		alpha := e.cfg.alphaForEpoch(epoch)
-		var epochCompute float64
+		var epochCompute, epochSync float64
 		for round := 0; round < e.cfg.SyncRounds; round++ {
-			e.computeRound(epoch, round, alpha)
+			pprof.Do(ctx, computeLabels, func(context.Context) {
+				e.computeRound(epoch, round, alpha)
+			})
 			epochCompute += e.computeSeconds
 			if e.cfg.Mode == gluon.PullModel {
-				e.inspectNext(epoch, round)
+				pprof.Do(ctx, inspectLabels, func(context.Context) {
+					e.inspectNext(epoch, round)
+				})
 			}
-			if err := e.syncRound(globalRound); err != nil {
+			var err error
+			pprof.Do(ctx, syncLabels, func(context.Context) {
+				err = e.syncRound(globalRound)
+			})
+			if err != nil {
 				return nil, fmt.Errorf("core: host %d epoch %d round %d: %w", e.host, epoch, round, err)
 			}
+			epochSync += e.syncSeconds
 			globalRound++
 		}
 		train, comm := e.finishEpoch(epoch)
 		res.Train.Add(train)
 		res.Comm.Add(comm)
 		res.ComputeSeconds += epochCompute
+		res.SyncSeconds += epochSync
 		if onEpoch != nil {
 			onEpoch(epoch, alpha, train, comm)
 		}
@@ -297,9 +325,13 @@ func (e *Engine) inspectNext(epoch, round int) {
 }
 
 // syncRound runs one bulk-synchronous synchronisation (Algorithm 1 line
-// 10) against the rest of the cluster.
+// 10) against the rest of the cluster and records its wall time in
+// syncSeconds (the per-phase timer behind the sync-latency experiment).
 func (e *Engine) syncRound(round uint32) error {
-	return e.sync.Sync(round, e.local, e.base, e.touched, e.access)
+	start := time.Now()
+	err := e.sync.Sync(round, e.local, e.base, e.touched, e.access)
+	e.syncSeconds = time.Since(start).Seconds()
+	return err
 }
 
 // finishEpoch returns this host's training counters and communication

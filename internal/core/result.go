@@ -25,6 +25,13 @@ type EpochResult struct {
 	// CriticalComputeSeconds sums, over the epoch's rounds, the maximum
 	// per-host compute time of that round — the BSP critical path.
 	CriticalComputeSeconds float64
+	// SyncSeconds[h] is the wall time host h spent blocked in
+	// synchronisation rounds this epoch (encode, transport, decode,
+	// combine, and waiting for peers).
+	SyncSeconds []float64
+	// CriticalSyncSeconds sums, over the epoch's rounds, the maximum
+	// per-host sync time of that round.
+	CriticalSyncSeconds float64
 	// Comm aggregates all hosts' communication counters for the epoch.
 	Comm gluon.Stats
 	// Train aggregates the epoch's SGNS counters across hosts.
@@ -47,6 +54,12 @@ type Result struct {
 	ComputeSeconds []float64
 	// CriticalComputeSeconds is the run's BSP compute critical path.
 	CriticalComputeSeconds float64
+	// SyncSeconds[h] is host h's total measured synchronisation wall
+	// time.
+	SyncSeconds []float64
+	// CriticalSyncSeconds is the run's synchronisation critical path:
+	// the sum over rounds of the slowest host's sync time.
+	CriticalSyncSeconds float64
 }
 
 // CommSeconds returns the modelled communication time of the run: traffic

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"graphword2vec/internal/corpus"
@@ -30,6 +32,14 @@ type Trainer struct {
 	// are bit-identical when ThreadsPerHost == 1, because each host
 	// only writes its own replica with its own generators.
 	SequentialCompute bool
+
+	// TransportFactory, when non-nil, builds the cluster's transports —
+	// one per host — instead of the default shared in-process transport.
+	// The sync-latency experiment uses it to drive the identical
+	// lockstep trainer over a loopback TCP cluster, so per-round sync
+	// timings can be measured on real sockets. cleanup (may be nil) is
+	// invoked when Run returns.
+	TransportFactory func(hosts int) (trs []gluon.Transport, cleanup func(), err error)
 }
 
 // NewTrainer validates the configuration against the data and returns a
@@ -46,11 +56,30 @@ func NewTrainer(cfg Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src 
 // final canonical model.
 func (t *Trainer) Run() (*Result, error) {
 	cfg := t.cfg
-	tr, err := gluon.NewInProcTransport(cfg.Hosts)
-	if err != nil {
-		return nil, err
+	var trs []gluon.Transport
+	if t.TransportFactory != nil {
+		built, cleanup, err := t.TransportFactory(cfg.Hosts)
+		if err != nil {
+			return nil, err
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+		if len(built) != cfg.Hosts {
+			return nil, fmt.Errorf("core: transport factory built %d transports for %d hosts", len(built), cfg.Hosts)
+		}
+		trs = built
+	} else {
+		tr, err := gluon.NewInProcTransport(cfg.Hosts)
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		trs = make([]gluon.Transport, cfg.Hosts)
+		for h := range trs {
+			trs[h] = tr
+		}
 	}
-	defer tr.Close()
 
 	part, err := graph.NewPartition(t.voc.Size(), cfg.Hosts)
 	if err != nil {
@@ -60,17 +89,26 @@ func (t *Trainer) Run() (*Result, error) {
 	init.InitRandom(cfg.Seed)
 	engines := make([]*Engine, cfg.Hosts)
 	for h := 0; h < cfg.Hosts; h++ {
-		engines[h], err = newEngine(cfg, h, tr, t.voc, t.neg, t.src, t.dim, init, part)
+		engines[h], err = newEngine(cfg, h, trs[h], t.voc, t.neg, t.src, t.dim, init, part)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	res := &Result{Hosts: cfg.Hosts, ComputeSeconds: make([]float64, cfg.Hosts)}
+	res := &Result{
+		Hosts:          cfg.Hosts,
+		ComputeSeconds: make([]float64, cfg.Hosts),
+		SyncSeconds:    make([]float64, cfg.Hosts),
+	}
 	globalRound := uint32(0)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		alpha := cfg.alphaForEpoch(epoch)
-		er := EpochResult{Epoch: epoch, Alpha: alpha, ComputeSeconds: make([]float64, cfg.Hosts)}
+		er := EpochResult{
+			Epoch:          epoch,
+			Alpha:          alpha,
+			ComputeSeconds: make([]float64, cfg.Hosts),
+			SyncSeconds:    make([]float64, cfg.Hosts),
+		}
 
 		for round := 0; round < cfg.SyncRounds; round++ {
 			// Compute phase (Algorithm 1 line 9).
@@ -93,6 +131,14 @@ func (t *Trainer) Run() (*Result, error) {
 			if err := t.syncPhase(engines, globalRound); err != nil {
 				return nil, err
 			}
+			roundMax = 0
+			for _, e := range engines {
+				if e.syncSeconds > roundMax {
+					roundMax = e.syncSeconds
+				}
+				er.SyncSeconds[e.host] += e.syncSeconds
+			}
+			er.CriticalSyncSeconds += roundMax
 			globalRound++
 		}
 
@@ -102,8 +148,10 @@ func (t *Trainer) Run() (*Result, error) {
 			er.Train.Add(train)
 			er.Comm.Add(comm)
 			res.ComputeSeconds[e.host] += er.ComputeSeconds[e.host]
+			res.SyncSeconds[e.host] += er.SyncSeconds[e.host]
 		}
 		res.CriticalComputeSeconds += er.CriticalComputeSeconds
+		res.CriticalSyncSeconds += er.CriticalSyncSeconds
 		res.Comm.Add(er.Comm)
 		res.Train.Add(er.Train)
 		res.Epochs = append(res.Epochs, er)
@@ -117,52 +165,59 @@ func (t *Trainer) Run() (*Result, error) {
 	return res, nil
 }
 
-// computePhase runs one round's SGNS compute on every host.
+// computePhase runs one round's SGNS compute on every host, tagged with
+// the compute pprof label (spawned host goroutines inherit it).
 func (t *Trainer) computePhase(engines []*Engine, epoch, round int, alpha float32) {
-	if t.SequentialCompute {
-		for _, e := range engines {
-			e.computeRound(epoch, round, alpha)
+	pprof.Do(context.Background(), computeLabels, func(context.Context) {
+		if t.SequentialCompute {
+			for _, e := range engines {
+				e.computeRound(epoch, round, alpha)
+			}
+			return
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	for _, e := range engines {
-		wg.Add(1)
-		go func(e *Engine) {
-			defer wg.Done()
-			e.computeRound(epoch, round, alpha)
-		}(e)
-	}
-	wg.Wait()
+		var wg sync.WaitGroup
+		for _, e := range engines {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.computeRound(epoch, round, alpha)
+			}(e)
+		}
+		wg.Wait()
+	})
 }
 
 // inspectPhase computes each host's next-round access set concurrently
 // (paper §4.4's inspection).
 func (t *Trainer) inspectPhase(engines []*Engine, epoch, round int) {
-	var wg sync.WaitGroup
-	for _, e := range engines {
-		wg.Add(1)
-		go func(e *Engine) {
-			defer wg.Done()
-			e.inspectNext(epoch, round)
-		}(e)
-	}
-	wg.Wait()
+	pprof.Do(context.Background(), inspectLabels, func(context.Context) {
+		var wg sync.WaitGroup
+		for _, e := range engines {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.inspectNext(epoch, round)
+			}(e)
+		}
+		wg.Wait()
+	})
 }
 
 // syncPhase runs the bulk-synchronous model synchronisation concurrently
-// on every host.
+// on every host (each engine records its own wall time in syncSeconds).
 func (t *Trainer) syncPhase(engines []*Engine, round uint32) error {
-	var wg sync.WaitGroup
 	errs := make([]error, len(engines))
-	for i, e := range engines {
-		wg.Add(1)
-		go func(i int, e *Engine) {
-			defer wg.Done()
-			errs[i] = e.syncRound(round)
-		}(i, e)
-	}
-	wg.Wait()
+	pprof.Do(context.Background(), syncLabels, func(context.Context) {
+		var wg sync.WaitGroup
+		for i, e := range engines {
+			wg.Add(1)
+			go func(i int, e *Engine) {
+				defer wg.Done()
+				errs[i] = e.syncRound(round)
+			}(i, e)
+		}
+		wg.Wait()
+	})
 	for h, err := range errs {
 		if err != nil {
 			return fmt.Errorf("core: host %d sync: %w", h, err)

@@ -157,9 +157,27 @@ func encodeVectorFrame(kind byte, round uint32, flags byte, dim int, nodes []int
 	if flags&wireFP16 != 0 {
 		valBytes = 2
 	}
-	buf := make([]byte, headerBytes, headerBytes+1+len(nodes)*(1+2*dim*valBytes))
-	putHeader(buf, kind, round, uint32(len(nodes)))
-	buf = append(buf, flags)
+	buf := make([]byte, 0, headerBytes+1+len(nodes)*(1+2*dim*valBytes))
+	return appendVectorFrame(buf, kind, round, flags, dim, nodes, halfAt, vecAt, make([]float32, 2*dim))
+}
+
+// appendVectorFrame is encodeVectorFrame writing into a caller-owned
+// buffer: the frame is appended to dst and the extended slice returned.
+// vec is caller-owned scratch of length 2·dim. With a pre-grown dst the
+// encode performs no allocation — the sync engine reuses one buffer and
+// one scratch vector per peer across rounds. The emitted bytes are
+// identical to encodeVectorFrame's (the golden wire tests pin the
+// format).
+func appendVectorFrame(dst []byte, kind byte, round uint32, flags byte, dim int, nodes []int32, halfAt func(node int32) byte, vecAt func(node int32, dst []float32), vec []float32) []byte {
+	valBytes := 4
+	if flags&wireFP16 != 0 {
+		valBytes = 2
+	}
+	start := len(dst)
+	var hdr [headerBytes]byte
+	dst = append(dst, hdr[:]...)
+	putHeader(dst[start:], kind, round, uint32(len(nodes)))
+	dst = append(dst, flags)
 
 	// Index section.
 	if flags&wireVarint != 0 {
@@ -170,26 +188,22 @@ func encodeVectorFrame(kind byte, round uint32, flags byte, dim int, nodes []int
 			if i > 0 {
 				d = uint64(n - prev) // strictly ascending ⇒ ≥ 1
 			}
-			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], d)]...)
+			dst = append(dst, tmp[:binary.PutUvarint(tmp[:], d)]...)
 			prev = n
 		}
 	} else {
 		for _, n := range nodes {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
 		}
 	}
 
-	// Evaluate vectors once, recording masks and payload together.
-	vec := make([]float32, 2*dim)
-	masks := make([]byte, (2*len(nodes)+7)/8)
-	payload := make([]byte, 0, len(nodes)*2*dim*valBytes)
-	putHalf := func(half []float32) {
-		for _, v := range half {
-			if flags&wireFP16 != 0 {
-				payload = binary.LittleEndian.AppendUint16(payload, float16bits(v))
-			} else {
-				payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(v))
-			}
+	// Mask section: reserved zeroed in place, filled while the payload
+	// streams (one vecAt evaluation per node serves both sections).
+	maskOff := len(dst)
+	if flags&wireHalves != 0 {
+		nb := (2*len(nodes) + 7) / 8
+		for i := 0; i < nb; i++ {
+			dst = append(dst, 0)
 		}
 	}
 	for i, n := range nodes {
@@ -201,19 +215,39 @@ func encodeVectorFrame(kind byte, round uint32, flags byte, dim int, nodes []int
 			} else {
 				h = nonzeroHalves(vec, dim)
 			}
+			dst[maskOff+i/4] |= h << uint(i%4*2)
 		}
-		masks[i/4] |= h << uint(i%4*2)
 		if h&halfEmb != 0 {
-			putHalf(vec[:dim])
+			dst = appendHalf(dst, vec[:dim], valBytes)
 		}
 		if h&halfCtx != 0 {
-			putHalf(vec[dim:])
+			dst = appendHalf(dst, vec[dim:], valBytes)
 		}
 	}
-	if flags&wireHalves != 0 {
-		buf = append(buf, masks...)
+	return dst
+}
+
+// appendHalf appends one half's values in the codec's value width.
+func appendHalf(dst []byte, half []float32, valBytes int) []byte {
+	if valBytes == 2 {
+		for _, v := range half {
+			dst = binary.LittleEndian.AppendUint16(dst, float16bits(v))
+		}
+		return dst
 	}
-	return append(buf, payload...)
+	for _, v := range half {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// decodeScratch holds the reusable buffers one decode path owns: the
+// index slice and the entry vector, grown on demand and reused across
+// frames so steady-state decodes allocate nothing. Not safe for
+// concurrent use — the sync engine keeps one per peer goroutine.
+type decodeScratch struct {
+	nodes []int32
+	vec   []float32
 }
 
 // decodeVectorFrame decodes a vector frame, enforcing that its codec
@@ -225,6 +259,14 @@ func encodeVectorFrame(kind byte, round uint32, flags byte, dim int, nodes []int
 // padding, or a payload whose length does not match the mask — is
 // rejected with an error.
 func decodeVectorFrame(payload []byte, dim int, wantFlags byte, fn func(node int32, half byte, vec []float32) error) error {
+	var sc decodeScratch
+	return decodeVectorFrameInto(payload, dim, wantFlags, &sc, fn)
+}
+
+// decodeVectorFrameInto is decodeVectorFrame with caller-owned scratch:
+// after the first few frames sc's buffers have grown to the working set
+// and decoding is allocation-free.
+func decodeVectorFrameInto(payload []byte, dim int, wantFlags byte, sc *decodeScratch, fn func(node int32, half byte, vec []float32) error) error {
 	_, _, count, err := parseHeader(payload)
 	if err != nil {
 		return err
@@ -247,7 +289,10 @@ func decodeVectorFrame(payload []byte, dim int, wantFlags byte, fn func(node int
 	}
 
 	// Index section.
-	nodes := make([]int32, count)
+	if cap(sc.nodes) < int(count) {
+		sc.nodes = make([]int32, count)
+	}
+	nodes := sc.nodes[:count]
 	if flags&wireVarint != 0 {
 		prev := int64(-1)
 		for i := range nodes {
@@ -313,17 +358,11 @@ func decodeVectorFrame(payload []byte, dim int, wantFlags byte, fn func(node int
 		return fmt.Errorf("gluon: vector frame payload of %d bytes, want %d for %d present halves", len(rest), want, halves)
 	}
 
-	vec := make([]float32, 2*dim)
-	getHalf := func(dst []float32) {
-		for j := range dst {
-			if valBytes == 2 {
-				dst[j] = float16frombits(binary.LittleEndian.Uint16(rest))
-			} else {
-				dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(rest))
-			}
-			rest = rest[valBytes:]
-		}
+	if cap(sc.vec) < 2*dim {
+		sc.vec = make([]float32, 2*dim)
 	}
+	vec := sc.vec[:2*dim]
+	off := 0
 	for i, node := range nodes {
 		h := halfBoth
 		if masks != nil {
@@ -333,14 +372,31 @@ func decodeVectorFrame(payload []byte, dim int, wantFlags byte, fn func(node int
 			vec[j] = 0
 		}
 		if h&halfEmb != 0 {
-			getHalf(vec[:dim])
+			off = decodeHalf(rest, off, vec[:dim], valBytes)
 		}
 		if h&halfCtx != 0 {
-			getHalf(vec[dim:])
+			off = decodeHalf(rest, off, vec[dim:], valBytes)
 		}
 		if err := fn(node, h, vec); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// decodeHalf reads one half's values from src starting at off and
+// returns the advanced offset.
+func decodeHalf(src []byte, off int, dst []float32, valBytes int) int {
+	if valBytes == 2 {
+		for j := range dst {
+			dst[j] = float16frombits(binary.LittleEndian.Uint16(src[off:]))
+			off += 2
+		}
+		return off
+	}
+	for j := range dst {
+		dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(src[off:]))
+		off += 4
+	}
+	return off
 }

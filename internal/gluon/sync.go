@@ -2,6 +2,8 @@ package gluon
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"graphword2vec/internal/bitset"
 	"graphword2vec/internal/combine"
@@ -102,35 +104,160 @@ func (s *Stats) Add(other Stats) {
 
 // HostSync is one host's view of the synchronisation substrate. It owns no
 // model data; the distributed trainer passes its local and base replicas
-// to each Sync call. HostSync is not safe for concurrent use.
+// to each Sync call.
+//
+// A synchronisation round is a concurrent, steady-state-zero-allocation
+// pipeline (DESIGN.md §8): per-peer reduce and broadcast frames are
+// encoded and sent by parallel workers (they are independent by
+// construction — each carries a different master range), and incoming
+// reduce frames are decoded concurrently into the accumulator's disjoint
+// per-(node, sender) slots. Every buffer a round needs — per-peer frame
+// buffers, node-id lists, encode/decode scratch — is owned by the
+// HostSync and reused across rounds. Determinism is untouched: the only
+// order-sensitive step, the combiner fold, still presents deltas in
+// ascending host order (combine.Accumulator.Fold), so models are
+// byte-identical to a serial round regardless of worker count.
+//
+// Frame buffers are reused across rounds even though Transport.Send
+// forbids modifying a payload after the call — the BSP round structure
+// makes the reuse safe. A peer can only emit a round-r+1 message after
+// completing its round-r receive phases: reduce frames we sent in round
+// r are decoded by the peer before it broadcasts in round r, and our
+// round-r broadcast is consumed in its phase E before it can send any
+// round-r+1 traffic. Since we do not touch the buffers again until our
+// own round r+1 — which starts only after we received the peer's round-r
+// traffic — every zero-copy reference (in-process transport, pending
+// queue) is dead by the time the buffer is rewritten. The -race
+// concurrency tests exercise exactly this overlap.
+//
+// Sync, Barrier and GatherMasters must be called from one goroutine (the
+// host's driver); the concurrency inside a round is HostSync's own.
 type HostSync struct {
-	host  int
-	part  *graph.Partition
-	tr    Transport
-	dim   int
-	mode  Mode
-	comb  combine.Combiner
-	codec Codec
+	host    int
+	part    *graph.Partition
+	tr      Transport
+	dim     int
+	mode    Mode
+	comb    combine.Combiner
+	codec   Codec
+	workers int
 
 	// stats accumulates sent-side traffic.
 	stats Stats
 
 	// pending buffers messages that arrived ahead of the phase that
-	// consumes them, keyed by kind and round.
-	pending map[pendingKey][]pendingMsg
+	// consumes them, keyed by kind and round. Queues are pooled: a
+	// drained key is deleted and its backing array recycled, so the map
+	// stays bounded (and allocation-free) over arbitrarily many
+	// out-of-phase rounds.
+	pending   map[pendingKey]*pendingQueue
+	queuePool []*pendingQueue
 
 	// accessByHost[g], PullModel only: the node set host g announced it
 	// will access in the *next* round, restricted to our master range.
-	// Populated during round r for use in round r+1... cleared on use.
+	// Announced during round r (phase A), consumed by our round-r
+	// broadcast phase. Written only by the control goroutine.
 	accessByHost []*bitset.Bitset
 
 	// acc stages every host's decoded deltas for our master range until
 	// the round's combine (decode-side accumulation, see
-	// combine.Accumulator).
+	// combine.Accumulator). Concurrent decode workers record into
+	// disjoint per-sender columns.
 	acc *combine.Accumulator
 
-	// scratch is a reusable 2·dim vector for local delta extraction.
-	scratch []float32
+	// Round state shared with the prebuilt closures below; set at the
+	// top of Sync.
+	curLocal   *model.Model
+	curBase    *model.Model
+	curTouched *bitset.Bitset
+	curRound   uint32
+
+	// Reusable scratch: own-delta extraction, the combine fold output,
+	// and the merged touched list of our own range (combine order +
+	// RepModel-Opt broadcast set).
+	scratch      []float32
+	combScratch  []float32
+	ownedTouched []int32
+
+	// Shared broadcast frame for the RepModel schemes, where the frame
+	// is identical for every peer: encoded once, sent n−1 times — plus
+	// the cached dense own-range node list for the Naive scheme.
+	bcastBuf []byte
+	bcastVec []float32
+	ownDense []int32
+
+	// peers[g] is the reusable per-peer worker state; peers[host] is
+	// unused.
+	peers []peerState
+
+	wg sync.WaitGroup
+	// Per-peer error slots, split by worker role: within one overlapped
+	// phase a peer's encode/send worker and its decode worker can run
+	// at the same time, so they must never share a slot (a concurrent
+	// interface write is a data race).
+	sendErrs   []error
+	decErrs    []error
+	goOwnDelta func() // prebuilt spawn thunk, see peerState
+	// ownRecord stages one of our own nodes' deltas into the
+	// accumulator (prebuilt for allocation-free ForEachRange use).
+	ownRecord func(n int)
+
+	// Prebuilt encode callbacks (allocated once; they read the curLocal/
+	// curBase fields so per-round closures are never needed).
+	reduceVecAt func(n int32, dst []float32)
+	bcastVecAt  func(n int32, dst []float32)
+	bcastHalfAt func(n int32) byte
+}
+
+// peerState is the state one peer's encode and decode workers own. The
+// buffers grow to the steady-state working set and are reused every
+// round.
+type peerState struct {
+	lo, hi int // the peer's master range
+
+	// Reduce encode: node list, frame buffer, vector scratch.
+	nodes []int32
+	buf   []byte
+	vec   []float32
+
+	// PullModel per-peer broadcast encode (the RepModel schemes share
+	// one frame instead).
+	bnodes []int32
+	bbuf   []byte
+	bvec   []float32
+
+	// Access announcement buffer (PullModel phase A).
+	abuf []byte
+
+	// denseNodes caches the peer's full master range for the dense
+	// (RepModel-Naive) scheme, built on first use.
+	denseNodes []int32
+
+	// Decode: per-sender scratch and prebuilt frame sinks, plus the
+	// payload handed to the worker and per-round dedup flags.
+	dec       decodeScratch
+	decReduce func(node int32, half byte, vec []float32) error
+	decBcast  func(node int32, half byte, vec []float32) error
+	payload   []byte
+	gotReduce bool
+	gotBcast  bool
+
+	// Prebuilt zero-argument spawn thunks: `go f(args)` heap-allocates a
+	// closure per call since Go 1.17, `go thunk()` does not — and these
+	// run every round, where the steady-state contract is 0 allocs.
+	goReduce    func()
+	goBcastSend func()
+	goPullBcast func()
+	goDecReduce func()
+	goDecBcast  func()
+
+	// Sent-side counters, merged into stats after the round's workers
+	// join (workers never touch the shared Stats).
+	sentMsgs    int64
+	sentReduceB int64
+	sentReduceE int64
+	sentBcastB  int64
+	sentBcastE  int64
 }
 
 type pendingKey struct {
@@ -141,6 +268,14 @@ type pendingKey struct {
 type pendingMsg struct {
 	from    int
 	payload []byte
+}
+
+// pendingQueue is a FIFO of buffered messages with an explicit head so
+// consumed entries release their payload references immediately instead
+// of stranding them in a sliced-off backing array.
+type pendingQueue struct {
+	msgs []pendingMsg
+	head int
 }
 
 // NewHostSync creates the sync engine for one host. comb is the reduction
@@ -165,20 +300,75 @@ func NewHostSync(host int, part *graph.Partition, tr Transport, dim int, mode Mo
 		return nil, err
 	}
 	lo, hi := part.MasterRange(host)
+	n := part.NumHosts()
 	hs := &HostSync{
-		host:    host,
-		part:    part,
-		tr:      tr,
-		dim:     dim,
-		mode:    mode,
-		comb:    comb,
-		codec:   codec,
-		pending: make(map[pendingKey][]pendingMsg),
-		acc:     combine.NewAccumulator(lo, hi, part.NumHosts(), dim),
-		scratch: make([]float32, 2*dim),
+		host:        host,
+		part:        part,
+		tr:          tr,
+		dim:         dim,
+		mode:        mode,
+		comb:        comb,
+		codec:       codec,
+		workers:     runtime.GOMAXPROCS(0),
+		pending:     make(map[pendingKey]*pendingQueue),
+		acc:         combine.NewAccumulator(lo, hi, n, dim),
+		scratch:     make([]float32, 2*dim),
+		combScratch: make([]float32, 2*dim),
+		bcastVec:    make([]float32, 2*dim),
+		peers:       make([]peerState, n),
+		sendErrs:    make([]error, n),
+		decErrs:     make([]error, n),
+	}
+	hs.reduceVecAt = func(nd int32, dst []float32) { nodeDelta(hs.curLocal, hs.curBase, nd, dst) }
+	hs.bcastVecAt = func(nd int32, dst []float32) { nodeValue(hs.curLocal, nd, dst) }
+	hs.bcastHalfAt = func(nd int32) byte {
+		var half byte
+		emb, ctx := hs.acc.Halves(int(nd))
+		if emb {
+			half |= halfEmb
+		}
+		if ctx {
+			half |= halfCtx
+		}
+		return half
+	}
+	for g := 0; g < n; g++ {
+		if g == host {
+			continue
+		}
+		g := g
+		p := &hs.peers[g]
+		p.lo, p.hi = part.MasterRange(g)
+		p.vec = make([]float32, 2*dim)
+		p.bvec = make([]float32, 2*dim)
+		p.decReduce = func(node int32, half byte, vec []float32) error {
+			if int(node) < lo || int(node) >= hi {
+				return fmt.Errorf("gluon: host %d sent reduce for node %d outside our range [%d,%d)", g, node, lo, hi)
+			}
+			hs.acc.Record(int(node), g, vec)
+			return nil
+		}
+		p.decBcast = func(node int32, half byte, vec []float32) error {
+			if int(node) < p.lo || int(node) >= p.hi {
+				return fmt.Errorf("gluon: host %d broadcast node %d outside its range [%d,%d)", g, node, p.lo, p.hi)
+			}
+			setNodeHalves(hs.curLocal, node, half, vec, hs.dim)
+			setNodeHalves(hs.curBase, node, half, vec, hs.dim)
+			return nil
+		}
+		p.goReduce = func() { hs.reduceWorker(g) }
+		p.goBcastSend = func() { hs.bcastSendWorker(g) }
+		p.goPullBcast = func() { hs.pullBcastWorker(g) }
+		p.goDecReduce = func() { hs.decodeReduceWorker(g) }
+		p.goDecBcast = func() { hs.decodeBcastWorker(g) }
+	}
+	hs.goOwnDelta = hs.ownDeltaWorker
+	hs.ownRecord = func(nd int) {
+		nodeDelta(hs.curLocal, hs.curBase, int32(nd), hs.scratch)
+		hs.acc.Record(nd, hs.host, hs.scratch)
 	}
 	if mode == PullModel {
-		hs.accessByHost = make([]*bitset.Bitset, part.NumHosts())
+		hs.accessByHost = make([]*bitset.Bitset, n)
 		for g := range hs.accessByHost {
 			hs.accessByHost[g] = bitset.New(part.NumNodes())
 		}
@@ -194,6 +384,28 @@ func (hs *HostSync) Mode() Mode { return hs.mode }
 
 // Codec returns the configured wire codec.
 func (hs *HostSync) Codec() Codec { return hs.codec }
+
+// SetSyncWorkers selects the round pipeline: 1 runs every phase
+// serially on the calling goroutine (the pre-concurrency behaviour);
+// any value above 1 enables the concurrent pipeline, which uses one
+// worker per peer per phase — the goroutine count is bounded by the
+// cluster size, not by n (real parallelism is throttled by GOMAXPROCS
+// as usual). n < 1 restores the default (GOMAXPROCS, i.e. serial on a
+// single-CPU machine). Models are byte-identical for every setting —
+// the deterministic host-ordered fold is the only order-sensitive step
+// — so this is purely a performance knob.
+func (hs *HostSync) SetSyncWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	hs.workers = n
+}
+
+// SyncWorkers returns the current worker setting.
+func (hs *HostSync) SyncWorkers() int { return hs.workers }
+
+// parallel reports whether the round pipeline runs concurrently.
+func (hs *HostSync) parallel() bool { return hs.workers > 1 }
 
 // frameFlags maps the configured codec to the flag set actually applied
 // to one message kind (the per-kind policy of PROTOCOL.md §5): fp16 is
@@ -234,10 +446,20 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 		return fmt.Errorf("gluon: model size %d does not match partition %d", local.VocabSize(), hs.part.NumNodes())
 	}
 	hs.stats.Rounds++
+	hs.curLocal, hs.curBase, hs.curTouched, hs.curRound = local, base, touched, round
 	h := hs.host
 	nHosts := hs.part.NumHosts()
+	for g := range hs.peers {
+		p := &hs.peers[g]
+		p.gotReduce, p.gotBcast = false, false
+		p.sentMsgs = 0
+		p.sentReduceB, p.sentReduceE = 0, 0
+		p.sentBcastB, p.sentBcastE = 0, 0
+		hs.sendErrs[g], hs.decErrs[g] = nil, nil
+	}
 
 	// Phase A: announce next round's access sets (PullModel inspection).
+	// Serial — the frames are cheap word-packed bitmaps.
 	if hs.mode == PullModel {
 		if nextAccess == nil {
 			return fmt.Errorf("gluon: PullModel requires a nextAccess set")
@@ -246,230 +468,359 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 			if g == h {
 				continue
 			}
-			lo, hi := hs.part.MasterRange(g)
-			msg := accessMessage(round, lo, hi, nextAccess.Get)
-			if err := hs.send(g, msg); err != nil {
+			p := &hs.peers[g]
+			p.abuf = appendAccessMessage(p.abuf[:0], round, p.lo, p.hi, nextAccess)
+			if err := hs.send(g, p.abuf); err != nil {
 				return err
 			}
-			hs.stats.ControlBytes += int64(len(msg))
+			hs.stats.ControlBytes += int64(len(p.abuf))
 		}
 	}
 
-	// Phase B: send reduce messages — our deltas for nodes owned by each
-	// other host. The half mask is derived from the delta content:
-	// an all-zero half is suppressed on the wire exactly as a zero value
-	// would be dropped by the accumulator on arrival.
+	// Phases B+C, overlapped: per-peer workers encode and send our
+	// reduce frames while a further worker records our own local deltas
+	// and the control goroutine receives peer frames, handing each to a
+	// decode worker. All accumulator writes land in disjoint per-sender
+	// columns.
 	for g := 0; g < nHosts; g++ {
 		if g == h {
 			continue
 		}
-		nodes := hs.reduceSet(g, touched)
-		msg := encodeVectorFrame(kindReduce, round, hs.frameFlags(kindReduce), hs.dim, nodes, nil, func(n int32, dst []float32) {
-			nodeDelta(local, base, n, dst)
-		})
-		if err := hs.send(g, msg); err != nil {
-			return err
+		hs.wg.Add(1)
+		if hs.parallel() {
+			go hs.peers[g].goReduce()
+		} else {
+			hs.reduceWorker(g)
 		}
-		hs.stats.ReduceBytes += int64(len(msg))
-		hs.stats.ReduceEntries += int64(len(nodes))
 	}
-
-	// Phase C: gather all reduce messages for our own master range,
-	// combine them with our local deltas, and install canonical values.
-	if err := hs.gatherReduces(round, local, base, touched); err != nil {
+	hs.wg.Add(1)
+	if hs.parallel() {
+		go hs.goOwnDelta()
+	} else {
+		hs.ownDeltaWorker()
+	}
+	recvErr := hs.receiveFrames(kindReduce, round)
+	hs.wg.Wait()
+	if err := hs.roundError(recvErr); err != nil {
 		return err
 	}
-	hs.combineOwned(local, base)
+
+	// Serial midpoint: merge the per-sender staging and fold with the
+	// reduction operator in deterministic host order, installing
+	// canonical values for our own range.
+	hs.acc.Commit()
+	hs.combineOwned()
 
 	// Phase D: broadcast canonical masters per the mode's rule. In the
-	// RepModel schemes only the halves some host actually updated ship;
-	// PullModel mirrors may be stale, so their pulls carry full values.
-	var halfAt func(int32) byte
+	// RepModel schemes the frame is identical for every peer (only the
+	// halves some host actually updated ship): encode once, send in
+	// parallel. PullModel mirrors may be stale and each peer pulls a
+	// different set, so per-peer workers encode their own frames with
+	// full values.
 	if hs.mode != PullModel {
-		halfAt = func(n int32) byte {
-			var half byte
-			emb, ctx := hs.acc.Halves(int(n))
-			if emb {
-				half |= halfEmb
-			}
-			if ctx {
-				half |= halfCtx
-			}
-			return half
+		nodes := hs.ownedTouched // RepModel-Opt: only updated nodes
+		if hs.mode == RepModelNaive {
+			nodes = hs.denseOwnRange()
 		}
-	}
-	for g := 0; g < nHosts; g++ {
-		if g == h {
-			continue
+		hs.bcastBuf = appendVectorFrame(hs.bcastBuf[:0], kindBroadcast, round, hs.frameFlags(kindBroadcast), hs.dim, nodes, hs.bcastHalfAt, hs.bcastVecAt, hs.bcastVec)
+		for g := 0; g < nHosts; g++ {
+			if g == h {
+				continue
+			}
+			hs.peers[g].sentBcastE = int64(len(nodes))
+			hs.wg.Add(1)
+			if hs.parallel() {
+				go hs.peers[g].goBcastSend()
+			} else {
+				hs.bcastSendWorker(g)
+			}
 		}
-		nodes := hs.broadcastSet(g)
-		msg := encodeVectorFrame(kindBroadcast, round, hs.frameFlags(kindBroadcast), hs.dim, nodes, halfAt, func(n int32, dst []float32) {
-			nodeValue(local, n, dst)
-		})
-		if err := hs.send(g, msg); err != nil {
+	} else {
+		for g := 0; g < nHosts; g++ {
+			if g == h {
+				continue
+			}
+			hs.wg.Add(1)
+			if hs.parallel() {
+				go hs.peers[g].goPullBcast()
+			} else {
+				hs.pullBcastWorker(g)
+			}
+		}
+		// PullModel phase D reads accessByHost, which the receive loop
+		// below may overwrite with next-round announcements from peers
+		// that raced ahead — join before receiving.
+		hs.wg.Wait()
+		if err := hs.roundError(nil); err != nil {
 			return err
 		}
-		hs.stats.BroadcastBytes += int64(len(msg))
-		hs.stats.BroadcastEntries += int64(len(nodes))
 	}
 
-	// Phase E: receive and apply all broadcasts for this round.
-	if err := hs.gatherBroadcasts(round, local, base); err != nil {
+	// Phase E: receive and apply all broadcasts for this round. Each
+	// sender's frame covers its own master range, so concurrent decode
+	// workers write disjoint model rows.
+	recvErr = hs.receiveFrames(kindBroadcast, round)
+	hs.wg.Wait()
+	if err := hs.roundError(recvErr); err != nil {
 		return err
+	}
+
+	// Merge the workers' sent-side counters.
+	for g := range hs.peers {
+		p := &hs.peers[g]
+		hs.stats.Messages += p.sentMsgs
+		hs.stats.ReduceBytes += p.sentReduceB
+		hs.stats.ReduceEntries += p.sentReduceE
+		hs.stats.BroadcastBytes += p.sentBcastB
+		hs.stats.BroadcastEntries += p.sentBcastE
 	}
 
 	hs.acc.Reset()
 	return nil
 }
 
-// send forwards to the transport and counts the message.
+// roundError folds a control-goroutine error and the per-peer worker
+// error slots into the round's verdict (first worker error in host
+// order wins, for determinism; the receive error is reported only when
+// no worker failed, since a dead worker usually explains the stalled
+// receive).
+func (hs *HostSync) roundError(recvErr error) error {
+	for g := range hs.sendErrs {
+		if hs.sendErrs[g] != nil {
+			return hs.sendErrs[g]
+		}
+		if hs.decErrs[g] != nil {
+			return hs.decErrs[g]
+		}
+	}
+	return recvErr
+}
+
+// reduceWorker builds and sends the reduce frame for peer g: our deltas
+// for the nodes g owns, sparse modes iterating the touched set at word
+// granularity.
+func (hs *HostSync) reduceWorker(g int) {
+	defer hs.wg.Done()
+	p := &hs.peers[g]
+	var nodes []int32
+	if hs.mode == RepModelNaive {
+		nodes = hs.denseNodes(p)
+	} else {
+		p.nodes = hs.curTouched.AppendRange(p.nodes[:0], p.lo, p.hi)
+		nodes = p.nodes
+	}
+	p.buf = appendVectorFrame(p.buf[:0], kindReduce, hs.curRound, hs.frameFlags(kindReduce), hs.dim, nodes, nil, hs.reduceVecAt, p.vec)
+	if err := hs.tr.Send(hs.host, g, p.buf); err != nil {
+		hs.sendErrs[g] = err
+		return
+	}
+	p.sentMsgs++
+	p.sentReduceB += int64(len(p.buf))
+	p.sentReduceE += int64(len(nodes))
+}
+
+// ownDeltaWorker records this host's local deltas for its own master
+// range into the accumulator (no wire traffic), concurrently with the
+// peer decode workers — it writes our own sender column only.
+func (hs *HostSync) ownDeltaWorker() {
+	defer hs.wg.Done()
+	lo, hi := hs.part.MasterRange(hs.host)
+	if hs.mode == RepModelNaive {
+		for n := lo; n < hi; n++ {
+			hs.ownRecord(n)
+		}
+		return
+	}
+	hs.curTouched.ForEachRange(lo, hi, hs.ownRecord)
+}
+
+// bcastSendWorker ships the shared RepModel broadcast frame to peer g.
+func (hs *HostSync) bcastSendWorker(g int) {
+	defer hs.wg.Done()
+	p := &hs.peers[g]
+	if err := hs.tr.Send(hs.host, g, hs.bcastBuf); err != nil {
+		hs.sendErrs[g] = err
+		p.sentBcastE = 0
+		return
+	}
+	p.sentMsgs++
+	p.sentBcastB += int64(len(hs.bcastBuf))
+}
+
+// pullBcastWorker builds and sends peer g's PullModel broadcast: the
+// owned nodes g announced it will read next round, whether or not
+// updated, with full values (g's mirror may be arbitrarily stale).
+func (hs *HostSync) pullBcastWorker(g int) {
+	defer hs.wg.Done()
+	p := &hs.peers[g]
+	lo, hi := hs.part.MasterRange(hs.host)
+	p.bnodes = hs.accessByHost[g].AppendRange(p.bnodes[:0], lo, hi)
+	p.bbuf = appendVectorFrame(p.bbuf[:0], kindBroadcast, hs.curRound, hs.frameFlags(kindBroadcast), hs.dim, p.bnodes, nil, hs.bcastVecAt, p.bvec)
+	if err := hs.tr.Send(hs.host, g, p.bbuf); err != nil {
+		hs.sendErrs[g] = err
+		return
+	}
+	p.sentMsgs++
+	p.sentBcastB += int64(len(p.bbuf))
+	p.sentBcastE += int64(len(p.bnodes))
+}
+
+// decodeReduceWorker decodes the staged reduce payload from peer g into
+// the accumulator's sender-g column.
+func (hs *HostSync) decodeReduceWorker(g int) {
+	defer hs.wg.Done()
+	p := &hs.peers[g]
+	if err := decodeVectorFrameInto(p.payload, hs.dim, hs.frameFlags(kindReduce), &p.dec, p.decReduce); err != nil {
+		hs.decErrs[g] = err
+	}
+}
+
+// decodeBcastWorker decodes the staged broadcast payload from peer g
+// into the g-owned rows of local and base.
+func (hs *HostSync) decodeBcastWorker(g int) {
+	defer hs.wg.Done()
+	p := &hs.peers[g]
+	if err := decodeVectorFrameInto(p.payload, hs.dim, hs.frameFlags(kindBroadcast), &p.dec, p.decBcast); err != nil {
+		hs.decErrs[g] = err
+	}
+}
+
+// receiveFrames collects one frame of the given kind from every peer,
+// dispatching each to that peer's decode worker (concurrently when the
+// worker setting allows). Returns the first receive-path error; decode
+// errors land in the per-peer error slots.
+func (hs *HostSync) receiveFrames(kind byte, round uint32) error {
+	for need := hs.part.NumHosts() - 1; need > 0; need-- {
+		from, payload, err := hs.nextMessage(kind, round)
+		if err != nil {
+			return err
+		}
+		if from < 0 || from >= len(hs.peers) || from == hs.host {
+			return fmt.Errorf("gluon: frame kind %d from invalid host %d", kind, from)
+		}
+		p := &hs.peers[from]
+		if kind == kindReduce {
+			if p.gotReduce {
+				return fmt.Errorf("gluon: duplicate reduce frame from host %d in round %d", from, round)
+			}
+			p.gotReduce = true
+		} else {
+			if p.gotBcast {
+				return fmt.Errorf("gluon: duplicate broadcast frame from host %d in round %d", from, round)
+			}
+			p.gotBcast = true
+		}
+		p.payload = payload
+		hs.wg.Add(1)
+		if !hs.parallel() {
+			if kind == kindReduce {
+				hs.decodeReduceWorker(from)
+			} else {
+				hs.decodeBcastWorker(from)
+			}
+			continue
+		}
+		if kind == kindReduce {
+			go p.goDecReduce()
+		} else {
+			go p.goDecBcast()
+		}
+	}
+	return nil
+}
+
+// send forwards to the transport and counts the message (control
+// goroutine only; workers count into their peer slots instead).
 func (hs *HostSync) send(to int, payload []byte) error {
 	hs.stats.Messages++
 	return hs.tr.Send(hs.host, to, payload)
 }
 
-// reduceSet returns the node ids whose deltas we ship to owner g, in
-// ascending order (the wire format's index invariant).
-func (hs *HostSync) reduceSet(g int, touched *bitset.Bitset) []int32 {
-	lo, hi := hs.part.MasterRange(g)
-	var nodes []int32
-	switch hs.mode {
-	case RepModelNaive:
-		// Dense: every proxy in g's range, touched or not.
-		nodes = make([]int32, 0, hi-lo)
-		for n := lo; n < hi; n++ {
-			nodes = append(nodes, int32(n))
-		}
-	default:
-		// Sparse: only proxies we actually updated.
-		for n := lo; n < hi; n++ {
-			if touched.Get(n) {
-				nodes = append(nodes, int32(n))
-			}
+// denseNodes returns the cached full master range of peer g's owner
+// (the RepModel-Naive reduce set), built on first use.
+func (hs *HostSync) denseNodes(p *peerState) []int32 {
+	if len(p.denseNodes) != p.hi-p.lo {
+		p.denseNodes = p.denseNodes[:0]
+		for n := p.lo; n < p.hi; n++ {
+			p.denseNodes = append(p.denseNodes, int32(n))
 		}
 	}
-	return nodes
+	return p.denseNodes
 }
 
-// broadcastSet returns the owned node ids whose canonical values we ship
-// to mirror host g. Must be called after combineOwned.
-func (hs *HostSync) broadcastSet(g int) []int32 {
+// denseOwnRange returns the cached full master range of this host (the
+// RepModel-Naive broadcast set), built on first use.
+func (hs *HostSync) denseOwnRange() []int32 {
 	lo, hi := hs.part.MasterRange(hs.host)
-	var nodes []int32
-	switch hs.mode {
-	case RepModelNaive:
-		nodes = make([]int32, 0, hi-lo)
+	if len(hs.ownDense) != hi-lo {
+		hs.ownDense = hs.ownDense[:0]
 		for n := lo; n < hi; n++ {
-			nodes = append(nodes, int32(n))
-		}
-	case RepModelOpt:
-		// Updated on any host → broadcast to every mirror.
-		for n := lo; n < hi; n++ {
-			if hs.acc.Touched(n) {
-				nodes = append(nodes, int32(n))
-			}
-		}
-	case PullModel:
-		// Only what g will read next round — whether or not updated.
-		acc := hs.accessByHost[g]
-		for n := lo; n < hi; n++ {
-			if acc.Get(n) {
-				nodes = append(nodes, int32(n))
-			}
+			hs.ownDense = append(hs.ownDense, int32(n))
 		}
 	}
-	return nodes
-}
-
-// gatherReduces receives one reduce message from every peer (buffering
-// out-of-phase messages) and stages the decoded deltas plus our own in
-// the accumulator.
-func (hs *HostSync) gatherReduces(round uint32, local, base *model.Model, touched *bitset.Bitset) error {
-	lo, hi := hs.part.MasterRange(hs.host)
-
-	// Record our own local deltas first (no wire traffic).
-	for n := lo; n < hi; n++ {
-		include := hs.mode == RepModelNaive || touched.Get(n)
-		if !include {
-			continue
-		}
-		nodeDelta(local, base, int32(n), hs.scratch)
-		hs.acc.Record(n, hs.host, hs.scratch)
-	}
-
-	want := hs.frameFlags(kindReduce)
-	need := hs.part.NumHosts() - 1
-	for need > 0 {
-		from, payload, err := hs.nextMessage(kindReduce, round)
-		if err != nil {
-			return err
-		}
-		err = decodeVectorFrame(payload, hs.dim, want, func(node int32, _ byte, vec []float32) error {
-			if int(node) < lo || int(node) >= hi {
-				return fmt.Errorf("gluon: host %d sent reduce for node %d outside our range [%d,%d)", from, node, lo, hi)
-			}
-			hs.acc.Record(int(node), from, vec)
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		need--
-	}
-	return nil
+	return hs.ownDense
 }
 
 // combineOwned folds the staged deltas with the reduction operator and
-// installs canonical values into both local and base for our range.
-func (hs *HostSync) combineOwned(local, base *model.Model) {
-	lo, hi := hs.part.MasterRange(hs.host)
-	combined := make([]float32, 2*hs.dim)
-	for n := lo; n < hi; n++ {
-		if !hs.acc.Fold(hs.comb, n, combined) {
+// installs canonical values into both local and base for our range,
+// walking only the touched nodes (word-level iteration); the touched
+// list doubles as the RepModel-Opt broadcast set.
+func (hs *HostSync) combineOwned() {
+	hs.ownedTouched = hs.acc.AppendTouched(hs.ownedTouched[:0])
+	for _, n := range hs.ownedTouched {
+		if !hs.acc.Fold(hs.comb, int(n), hs.combScratch) {
 			continue
 		}
 		// canonical = base + combined, written into local and base.
-		applyCanonical(local, base, int32(n), combined, hs.dim)
+		applyCanonical(hs.curLocal, hs.curBase, n, hs.combScratch, hs.dim)
 	}
 }
 
-// gatherBroadcasts receives one broadcast from every peer and installs the
-// canonical values into local and base. Only the halves present on the
-// wire are applied: an absent half means the sender's combine left that
-// half's canonical value untouched, so our replica is already current.
-func (hs *HostSync) gatherBroadcasts(round uint32, local, base *model.Model) error {
-	want := hs.frameFlags(kindBroadcast)
-	need := hs.part.NumHosts() - 1
-	for need > 0 {
-		from, payload, err := hs.nextMessage(kindBroadcast, round)
-		if err != nil {
-			return err
-		}
-		fromLo, fromHi := hs.part.MasterRange(from)
-		err = decodeVectorFrame(payload, hs.dim, want, func(node int32, half byte, vec []float32) error {
-			if int(node) < fromLo || int(node) >= fromHi {
-				return fmt.Errorf("gluon: host %d broadcast node %d outside its range [%d,%d)", from, node, fromLo, fromHi)
-			}
-			setNodeHalves(local, node, half, vec, hs.dim)
-			setNodeHalves(base, node, half, vec, hs.dim)
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		need--
+// popPending removes and returns the oldest buffered message for key,
+// recycling the queue once drained.
+func (hs *HostSync) popPending(key pendingKey) (pendingMsg, bool) {
+	q := hs.pending[key]
+	if q == nil {
+		return pendingMsg{}, false
 	}
-	return nil
+	m := q.msgs[q.head]
+	q.msgs[q.head] = pendingMsg{} // release the payload reference
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+		delete(hs.pending, key)
+		hs.queuePool = append(hs.queuePool, q)
+	}
+	return m, true
 }
+
+// pushPending buffers an out-of-phase message under key, reusing a
+// pooled queue when one is free.
+func (hs *HostSync) pushPending(key pendingKey, m pendingMsg) {
+	q := hs.pending[key]
+	if q == nil {
+		if n := len(hs.queuePool); n > 0 {
+			q = hs.queuePool[n-1]
+			hs.queuePool = hs.queuePool[:n-1]
+		} else {
+			q = new(pendingQueue)
+		}
+		hs.pending[key] = q
+	}
+	q.msgs = append(q.msgs, m)
+}
+
+// pendingCount returns the number of distinct buffered (kind, round)
+// keys — exposed for the queue-bound regression test.
+func (hs *HostSync) pendingCount() int { return len(hs.pending) }
 
 // nextMessage returns the next message of the wanted kind and round,
 // buffering any other in-flight messages (access announcements for the
-// next round, early reduces from hosts already past us, etc.).
+// next round, early reduces from hosts already past us, etc.). Control
+// goroutine only.
 func (hs *HostSync) nextMessage(kind byte, round uint32) (int, []byte, error) {
-	key := pendingKey{kind: kind, round: round}
-	if q := hs.pending[key]; len(q) > 0 {
-		m := q[0]
-		hs.pending[key] = q[1:]
+	if m, ok := hs.popPending(pendingKey{kind: kind, round: round}); ok {
 		return m.from, m.payload, nil
 	}
 	for {
@@ -495,8 +846,7 @@ func (hs *HostSync) nextMessage(kind byte, round uint32) (int, []byte, error) {
 		if k == kind && r == round {
 			return from, payload, nil
 		}
-		pk := pendingKey{kind: k, round: r}
-		hs.pending[pk] = append(hs.pending[pk], pendingMsg{from: from, payload: payload})
+		hs.pushPending(pendingKey{kind: k, round: r}, pendingMsg{from: from, payload: payload})
 	}
 }
 
@@ -504,7 +854,7 @@ func (hs *HostSync) nextMessage(kind byte, round uint32) (int, []byte, error) {
 func (hs *HostSync) recordAccess(from int, payload []byte) error {
 	acc := hs.accessByHost[from]
 	acc.Reset()
-	return parseAccessMessage(payload, func(node int) { acc.Set(node) })
+	return parseAccessInto(payload, acc)
 }
 
 // Barrier blocks until every host in the cluster has entered a Barrier

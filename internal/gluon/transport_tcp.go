@@ -27,10 +27,17 @@ type TCPTransport struct {
 	n       int
 	conns   []net.Conn // conns[g] is the connection to host g (nil for self)
 	writeMu []sync.Mutex
-	inbox   chan inprocMsg
-	done    chan struct{}
-	closeMu sync.Once
-	wg      sync.WaitGroup
+	// sendBufs[g] is the reusable framing buffer for the connection to
+	// host g, guarded by writeMu[g]. Reuse is safe on the send side
+	// because conn.Write copies the bytes into the kernel before
+	// returning; the receive side has no such point — payloads outlive
+	// readLoop in the inbox and pending queues — so readLoop must keep
+	// allocating per frame.
+	sendBufs [][]byte
+	inbox    chan inprocMsg
+	done     chan struct{}
+	closeMu  sync.Once
+	wg       sync.WaitGroup
 
 	failMu  sync.Mutex
 	failure error // first framing/protocol error, reported by Recv/Send
@@ -103,12 +110,13 @@ func NewTCPCluster(n int) ([]*TCPTransport, error) {
 // newTCPTransport allocates an unwired transport for one host.
 func newTCPTransport(host, n int) *TCPTransport {
 	return &TCPTransport{
-		host:    host,
-		n:       n,
-		conns:   make([]net.Conn, n),
-		writeMu: make([]sync.Mutex, n),
-		inbox:   make(chan inprocMsg, 16*n),
-		done:    make(chan struct{}),
+		host:     host,
+		n:        n,
+		conns:    make([]net.Conn, n),
+		writeMu:  make([]sync.Mutex, n),
+		sendBufs: make([][]byte, n),
+		inbox:    make(chan inprocMsg, 16*n),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -230,12 +238,16 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 	if conn == nil {
 		return fmt.Errorf("gluon: no connection to host %d", to)
 	}
-	frame := make([]byte, 8+len(payload))
+	t.writeMu[to].Lock()
+	defer t.writeMu[to].Unlock()
+	need := 8 + len(payload)
+	if cap(t.sendBufs[to]) < need {
+		t.sendBufs[to] = make([]byte, need)
+	}
+	frame := t.sendBufs[to][:need]
 	binary.LittleEndian.PutUint32(frame, uint32(from))
 	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
 	copy(frame[8:], payload)
-	t.writeMu[to].Lock()
-	defer t.writeMu[to].Unlock()
 	if _, err := conn.Write(frame); err != nil {
 		return fmt.Errorf("gluon: tcp write to host %d: %w", to, err)
 	}

@@ -3,6 +3,9 @@ package gluon
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
+
+	"graphword2vec/internal/bitset"
 )
 
 // Wire format, version 2 — the byte-level contract is specified in
@@ -68,6 +71,46 @@ func accessMessage(round uint32, lo, hi int, isSet func(i int) bool) []byte {
 		}
 	}
 	return buf
+}
+
+// appendAccessMessage is accessMessage writing into a caller-owned
+// buffer from a bitset: the frame is appended to dst and the extended
+// slice returned, with the bitmap packed word-at-a-time
+// (bitset.PackRange). Byte-identical to accessMessage's output; with a
+// pre-grown dst it allocates nothing — the sync engine reuses one
+// buffer per peer across rounds.
+func appendAccessMessage(dst []byte, round uint32, lo, hi int, acc *bitset.Bitset) []byte {
+	bits := hi - lo
+	nbytes := (bits + 7) / 8
+	start := len(dst)
+	need := headerBytes + 8 + nbytes
+	dst = slices.Grow(dst, need)[:start+need]
+	frame := dst[start:]
+	putHeader(frame, kindAccess, round, uint32(1))
+	binary.LittleEndian.PutUint32(frame[headerBytes:], uint32(lo))
+	binary.LittleEndian.PutUint32(frame[headerBytes+4:], uint32(bits))
+	acc.PackRange(frame[headerBytes+8:need], lo, hi)
+	return dst
+}
+
+// parseAccessInto decodes an access announcement directly into a bitset
+// (word-level, allocation-free), OR-ing the announced nodes in. The
+// caller resets acc first for replacement semantics.
+func parseAccessInto(payload []byte, acc *bitset.Bitset) error {
+	if len(payload) < headerBytes+8 {
+		return fmt.Errorf("gluon: short access message (%d bytes)", len(payload))
+	}
+	lo := int(binary.LittleEndian.Uint32(payload[headerBytes:]))
+	bits := int(binary.LittleEndian.Uint32(payload[headerBytes+4:]))
+	packed := payload[headerBytes+8:]
+	if len(packed) != (bits+7)/8 {
+		return fmt.Errorf("gluon: access bitmap length %d, want %d", len(packed), (bits+7)/8)
+	}
+	if lo < 0 || lo+bits > acc.Len() {
+		return fmt.Errorf("gluon: access range [%d,%d) outside node range [0,%d)", lo, lo+bits, acc.Len())
+	}
+	acc.UnpackRange(packed, lo, lo+bits)
+	return nil
 }
 
 // parseAccessMessage decodes an access announcement, invoking fn for each

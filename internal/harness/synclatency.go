@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"graphword2vec/internal/core"
+	"graphword2vec/internal/gluon"
+)
+
+// The sync-latency experiment measures the synchronisation side of
+// Algorithm 1's round loop: per-round sync wall time (the BSP critical
+// path — the slowest host's blocking Sync call, summed over rounds) for
+// every communication scheme and wire codec, on both the in-process and
+// the loopback-TCP transport, at 2 and 4 hosts, for the text and graph
+// workloads. PR 4's throughput experiment pinned the compute side;
+// these rows pin the other half of the round so Amdahl regressions in
+// either phase are visible. Rows are recorded in BENCH_sync.json and
+// EXPERIMENTS.md.
+
+// SyncLatencyEpochs is the number of training epochs per cell; with the
+// sync-frequency rule this yields epochs × S(hosts) measured rounds.
+var SyncLatencyEpochs = 2
+
+// SyncLatencyHosts are the cluster sizes measured.
+var SyncLatencyHosts = []int{2, 4}
+
+// SyncLatencyModes are the communication schemes measured.
+var SyncLatencyModes = []gluon.Mode{gluon.RepModelNaive, gluon.RepModelOpt, gluon.PullModel}
+
+// SyncLatencyCodecs are the wire codecs measured.
+var SyncLatencyCodecs = []gluon.Codec{gluon.CodecRaw, gluon.CodecPacked, gluon.CodecFP16}
+
+// SyncLatencyTransports are the transports measured ("inproc" drives the
+// zero-copy in-process channels, "tcp" a real loopback socket cluster).
+var SyncLatencyTransports = []string{"inproc", "tcp"}
+
+// SyncLatencyRow is one (workload, mode, codec, hosts, transport) cell.
+type SyncLatencyRow struct {
+	// Workload is "text" (synthetic corpus) or "graph" (random walks).
+	Workload string `json:"workload"`
+	// Mode is the communication scheme (paper §4.4 name).
+	Mode string `json:"mode"`
+	// Codec is the wire codec (-wire flag spelling).
+	Codec string `json:"codec"`
+	// Hosts is the cluster size.
+	Hosts int `json:"hosts"`
+	// Transport is "inproc" or "tcp".
+	Transport string `json:"transport"`
+	// Rounds is the number of synchronisation rounds measured.
+	Rounds int `json:"rounds"`
+	// SyncMsPerRound is the headline number: the per-round sync critical
+	// path (max per-host blocking Sync wall time, averaged over rounds),
+	// in milliseconds.
+	SyncMsPerRound float64 `json:"sync_ms_per_round"`
+	// HostSyncMsPerRound is the mean per-host sync time per round.
+	HostSyncMsPerRound float64 `json:"host_sync_ms_per_round"`
+	// ComputeMsPerRound is the per-round compute critical path, for the
+	// sync-vs-compute share.
+	ComputeMsPerRound float64 `json:"compute_ms_per_round"`
+	// SyncShare is sync / (sync + compute) on the critical path.
+	SyncShare float64 `json:"sync_share"`
+	// BytesPerRound is the cluster-wide traffic per round.
+	BytesPerRound float64 `json:"bytes_per_round"`
+}
+
+// tcpTransportFactory builds a loopback TCP cluster as a
+// core.Trainer transport factory.
+func tcpTransportFactory(hosts int) ([]gluon.Transport, func(), error) {
+	trs, err := gluon.NewTCPCluster(hosts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]gluon.Transport, hosts)
+	for h := range out {
+		out[h] = trs[h]
+	}
+	return out, func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}, nil
+}
+
+// syncLatencyWorkload is one trainable workload for the grid.
+type syncLatencyWorkload struct {
+	name string
+	mk   func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (*core.Trainer, core.Config, error)
+}
+
+// syncLatencyWorkloads materialises the text and graph workloads once
+// and returns per-cell trainer constructors.
+func syncLatencyWorkloads(opts Options) ([]*syncLatencyWorkload, error) {
+	text, err := LoadDataset("1-billion", opts)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := LoadGraphDataset(opts)
+	if err != nil {
+		return nil, err
+	}
+	mkTrainer := func(tr *core.Trainer, transport string) *core.Trainer {
+		tr.SequentialCompute = true // uncontended phase timings
+		if transport == "tcp" {
+			tr.TransportFactory = tcpTransportFactory
+		}
+		return tr
+	}
+	return []*syncLatencyWorkload{
+		{
+			name: "text",
+			mk: func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (*core.Trainer, core.Config, error) {
+				cfg := distConfig(opts, hosts, core.SyncFrequencyRule(hosts), "MC", mode, opts.BaseAlpha)
+				cfg.Epochs = SyncLatencyEpochs
+				cfg.Wire = codec
+				tr, err := core.NewTrainer(cfg, text.Vocab, text.Neg, text.Corp, opts.Dim)
+				if err != nil {
+					return nil, cfg, err
+				}
+				return mkTrainer(tr, transport), cfg, nil
+			},
+		},
+		{
+			name: "graph",
+			mk: func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (*core.Trainer, core.Config, error) {
+				cfg := GraphTrainConfig(opts, hosts, mode)
+				cfg.Epochs = SyncLatencyEpochs
+				cfg.Wire = codec
+				tr, err := core.NewTrainer(cfg, graph.Vocab, graph.Neg, graph.Walker, opts.Dim)
+				if err != nil {
+					return nil, cfg, err
+				}
+				return mkTrainer(tr, transport), cfg, nil
+			},
+		},
+	}, nil
+}
+
+// measureSyncLatency runs one cell and reduces the per-phase timers to a
+// row.
+func measureSyncLatency(w *syncLatencyWorkload, hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (SyncLatencyRow, error) {
+	tr, cfg, err := w.mk(hosts, mode, codec, transport)
+	if err != nil {
+		return SyncLatencyRow{}, err
+	}
+	res, err := tr.Run()
+	if err != nil {
+		return SyncLatencyRow{}, err
+	}
+	rounds := cfg.Epochs * cfg.SyncRounds
+	var hostSync float64
+	for _, s := range res.SyncSeconds {
+		hostSync += s
+	}
+	hostSync /= float64(hosts)
+	row := SyncLatencyRow{
+		Workload:           w.name,
+		Mode:               mode.String(),
+		Codec:              codec.String(),
+		Hosts:              hosts,
+		Transport:          transport,
+		Rounds:             rounds,
+		SyncMsPerRound:     1e3 * res.CriticalSyncSeconds / float64(rounds),
+		HostSyncMsPerRound: 1e3 * hostSync / float64(rounds),
+		ComputeMsPerRound:  1e3 * res.CriticalComputeSeconds / float64(rounds),
+		BytesPerRound:      float64(res.Comm.TotalBytes()) / float64(rounds),
+	}
+	if total := res.CriticalSyncSeconds + res.CriticalComputeSeconds; total > 0 {
+		row.SyncShare = res.CriticalSyncSeconds / total
+	}
+	return row, nil
+}
+
+// SyncLatency runs the full grid — {text, graph} × SyncLatencyModes ×
+// SyncLatencyCodecs × SyncLatencyHosts × SyncLatencyTransports —
+// rendering a table to opts.Out and returning the rows.
+func SyncLatency(opts Options) ([]SyncLatencyRow, error) {
+	opts = opts.WithDefaults()
+	workloads, err := syncLatencyWorkloads(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SyncLatencyRow
+	for _, w := range workloads {
+		for _, hosts := range SyncLatencyHosts {
+			for _, mode := range SyncLatencyModes {
+				for _, codec := range SyncLatencyCodecs {
+					for _, transport := range SyncLatencyTransports {
+						row, err := measureSyncLatency(w, hosts, mode, codec, transport)
+						if err != nil {
+							return nil, fmt.Errorf("harness: sync-latency %s %v/%v hosts=%d %s: %w",
+								w.name, mode, codec, hosts, transport, err)
+						}
+						rows = append(rows, row)
+					}
+				}
+			}
+		}
+	}
+
+	tw := tabwriter.NewWriter(opts.out(), 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Per-round sync latency (scale=%s, %d epochs/cell, critical path over hosts)\n",
+		opts.Scale, SyncLatencyEpochs)
+	fmt.Fprintln(tw, "Workload\tHosts\tMode\tCodec\tTransport\tRounds\tSync ms/round\tCompute ms/round\tSync share\tBytes/round")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%d\t%.3f\t%.3f\t%.1f%%\t%s\n",
+			r.Workload, r.Hosts, r.Mode, r.Codec, r.Transport, r.Rounds,
+			r.SyncMsPerRound, r.ComputeMsPerRound, 100*r.SyncShare, fmtBytes(r.BytesPerRound))
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/synth"
+)
+
+// TestSyncLatencySmoke runs the sync-latency grid on a reduced
+// configuration and sanity-checks the rows: every requested cell
+// present, positive critical-path latencies, critical path at least the
+// per-host mean, and byte counts that match the sparse-vs-dense
+// ordering the schemes guarantee.
+func TestSyncLatencySmoke(t *testing.T) {
+	hosts, modes, codecs, transports, epochs :=
+		SyncLatencyHosts, SyncLatencyModes, SyncLatencyCodecs, SyncLatencyTransports, SyncLatencyEpochs
+	SyncLatencyHosts = []int{2}
+	SyncLatencyModes = []gluon.Mode{gluon.RepModelNaive, gluon.RepModelOpt}
+	SyncLatencyCodecs = []gluon.Codec{gluon.CodecRaw, gluon.CodecPacked}
+	SyncLatencyTransports = []string{"inproc", "tcp"}
+	SyncLatencyEpochs = 1
+	defer func() {
+		SyncLatencyHosts, SyncLatencyModes, SyncLatencyCodecs, SyncLatencyTransports, SyncLatencyEpochs =
+			hosts, modes, codecs, transports, epochs
+	}()
+
+	opts := Defaults(synth.ScaleTiny)
+	rows, err := SyncLatency(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {text, graph} × 1 host count × 2 modes × 2 codecs × 2 transports.
+	if want := 2 * 2 * 2 * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	type cell struct{ wl, mode, codec, tp string }
+	byCell := map[cell]SyncLatencyRow{}
+	for _, r := range rows {
+		if r.SyncMsPerRound <= 0 || r.ComputeMsPerRound <= 0 || r.Rounds <= 0 || r.BytesPerRound <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		if r.SyncMsPerRound < r.HostSyncMsPerRound {
+			t.Errorf("critical path below per-host mean: %+v", r)
+		}
+		if r.SyncShare <= 0 || r.SyncShare >= 1 {
+			t.Errorf("sync share out of (0,1): %+v", r)
+		}
+		byCell[cell{r.Workload, r.Mode, r.Codec, r.Transport}] = r
+	}
+	for _, wl := range []string{"text", "graph"} {
+		for _, tp := range []string{"inproc", "tcp"} {
+			naive := byCell[cell{wl, "RepModel-Naive", "raw", tp}]
+			opt := byCell[cell{wl, "RepModel-Opt", "raw", tp}]
+			if naive.Rounds == 0 || opt.Rounds == 0 {
+				t.Fatalf("missing cells for %s/%s", wl, tp)
+			}
+			if opt.BytesPerRound > naive.BytesPerRound {
+				t.Errorf("%s/%s: sparse scheme ships more than dense: opt %.0f > naive %.0f",
+					wl, tp, opt.BytesPerRound, naive.BytesPerRound)
+			}
+		}
+	}
+}
