@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke cross-arm64 vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke cross-arm64 vet fmt-check fmt docs-check
 
 all: fmt-check vet docs-check build test-short test-sync-race test-portable cross-arm64
 
@@ -40,6 +40,17 @@ bench-smoke:
 # smoke).
 sync-latency-smoke:
 	$(GO) test -run 'TestSyncLatencySmoke' -count=1 ./internal/harness/
+
+# End-to-end serving smoke: train a tiny model, start gw2v-serve on a
+# real socket, curl /healthz and one /v1/neighbors query (mirrored as a
+# CI step; see scripts/serve_smoke.sh).
+serve-smoke:
+	@sh scripts/serve_smoke.sh
+
+# Reduced serve-latency grid: keeps the serving experiment executable
+# end-to-end (mirrored as a CI step, like the sync-latency smoke).
+serve-latency-smoke:
+	$(GO) test -run 'TestServeLatencySmoke' -count=1 ./internal/harness/
 
 # arm64 must compile (simd_stub path).
 cross-arm64:

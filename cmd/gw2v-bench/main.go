@@ -25,25 +25,24 @@ import (
 
 var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
 	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync", "comm-volume",
-	"throughput", "sync-latency"}
+	"throughput", "sync-latency", "serve-latency"}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gw2v-bench: ")
 	var (
-		expStr     = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(experiments, ", "))
-		scaleStr   = flag.String("scale", "tiny", "dataset scale: tiny, small, or full")
-		hosts      = flag.Int("hosts", 0, "cluster size for Tables 2-3 / Figures 6-7 (0 = 32)")
-		epochs     = flag.Int("epochs", 0, "training epochs (0 = 16)")
-		dim        = flag.Int("dim", 0, "embedding dimensionality (0 = scale default)")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		benchOut   = flag.String("bench-json", "", "write the comm-volume / throughput rows as JSON to this path (e.g. BENCH_comm.json); with -experiment all the last writer wins")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		expStr   = flag.String("experiment", "all", "experiment id or 'all': "+strings.Join(experiments, ", "))
+		scaleStr = flag.String("scale", "tiny", "dataset scale: tiny, small, or full")
+		hosts    = flag.Int("hosts", 0, "cluster size for Tables 2-3 / Figures 6-7 (0 = 32)")
+		epochs   = flag.Int("epochs", 0, "training epochs (0 = 16)")
+		dim      = flag.Int("dim", 0, "embedding dimensionality (0 = scale default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		benchOut = flag.String("bench-json", "", "write the comm-volume / throughput rows as JSON to this path (e.g. BENCH_comm.json); with -experiment all the last writer wins")
+		profiles = cliutil.RegisterProfiles(flag.CommandLine)
 	)
 	flag.Parse()
 
-	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -145,6 +144,26 @@ func main() {
 			NumCPU     int                      `json:"num_cpu"`
 			Rows       []harness.SyncLatencyRow `json:"rows"`
 		}{"sync-latency", opts.Scale.String(), opts.Seed, harness.SyncLatencyEpochs, runtime.NumCPU(), rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+	})
+	run("serve-latency", func() error {
+		rows, err := harness.ServeLatency(opts)
+		if err != nil || *benchOut == "" {
+			return err
+		}
+		doc := struct {
+			Experiment string                    `json:"experiment"`
+			Scale      string                    `json:"scale"`
+			Seed       uint64                    `json:"seed"`
+			Dim        int                       `json:"dim"`
+			Requests   int                       `json:"requests_per_cell"`
+			NumCPU     int                       `json:"num_cpu"`
+			Rows       []harness.ServeLatencyRow `json:"rows"`
+		}{"serve-latency", opts.Scale.String(), opts.Seed, opts.Dim, harness.ServeLatencyRequests, runtime.NumCPU(), rows}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

@@ -16,9 +16,8 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"graphword2vec/internal/cliutil"
 	"graphword2vec/internal/eval"
-	"graphword2vec/internal/model"
-	"graphword2vec/internal/vocab"
 )
 
 func main() {
@@ -33,21 +32,9 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := model.LoadFile(*modelPath)
+	m, voc, err := cliutil.LoadModelWithVocab(*modelPath)
 	if err != nil {
 		log.Fatal(err)
-	}
-	vf, err := os.Open(*modelPath + ".vocab")
-	if err != nil {
-		log.Fatalf("opening vocabulary sidecar: %v", err)
-	}
-	voc, err := vocab.ReadCounts(vf, vocab.Options{MinCount: 1})
-	vf.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if voc.Size() != m.VocabSize() {
-		log.Fatalf("vocabulary has %d words but model has %d rows", voc.Size(), m.VocabSize())
 	}
 
 	did := false

@@ -1,0 +1,112 @@
+// Command gw2v-serve exposes a trained model as an HTTP/JSON query
+// service: nearest-neighbour, analogy and link-score endpoints under a
+// versioned /v1 prefix (the wire contract is API.md). The model file is
+// watched for changes and hot-swapped without dropping in-flight
+// requests, so a training cluster can keep publishing snapshots while
+// the service stays up.
+//
+// Usage:
+//
+//	gw2v-serve -model model.bin -listen :8080
+//	curl -s localhost:8080/v1/neighbors -d '{"word":"w3_sem1","k":5}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphword2vec/internal/cliutil"
+	"graphword2vec/internal/index"
+	"graphword2vec/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gw2v-serve: ")
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		model    = flag.String("model", "model.bin", "model path (expects <model>.vocab sidecar)")
+		poll     = flag.Duration("poll", 2*time.Second, "model file poll interval for hot reload (0 = never reload)")
+		exact    = flag.Bool("exact", false, "serve exact scans only; skip building the ANN index")
+		ef       = flag.Int("ef", 0, "HNSW beam width at query time (0 = index default; wider = better recall, slower)")
+		m        = flag.Int("hnsw-m", 0, "HNSW links per node at build time (0 = default)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = disable)")
+		scorers  = flag.Int("scorers", 0, "scorer pool goroutines (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 0, "max queries per batch request (0 = default 256)")
+		defaultK = flag.Int("k", 0, "default neighbour count when a request omits k (0 = 10)")
+		profiles = cliutil.RegisterProfiles(flag.CommandLine)
+	)
+	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	fatal := func(v ...interface{}) {
+		if perr := stopProfiles(); perr != nil {
+			log.Print(perr)
+		}
+		log.Fatal(v...)
+	}
+
+	storeCfg := serve.StoreConfig{BuildANN: !*exact}
+	if *m > 0 {
+		storeCfg.HNSW = index.DefaultHNSWConfig()
+		storeCfg.HNSW.M = *m
+	}
+	store, err := serve.OpenStore(*model, storeCfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	snap := store.Current()
+	log.Printf("loaded %s: %d words, dim %d, %s index built in %s (snapshot %s)",
+		*model, snap.Vocab.Size(), snap.Model.Dim, snap.IndexName(),
+		snap.BuildTime.Round(time.Millisecond), snap.ID)
+
+	store.OnSwap = func(old, new *serve.Snapshot) {
+		log.Printf("hot swap: snapshot %s -> %s (%d words, index built in %s)",
+			old.ID, new.ID, new.Vocab.Size(), new.BuildTime.Round(time.Millisecond))
+	}
+	store.OnError = func(err error) { log.Printf("reload failed, keeping current snapshot: %v", err) }
+	store.StartPolling(*poll)
+
+	srv := serve.New(store, serve.Config{
+		DefaultK:     *defaultK,
+		MaxBatch:     *maxBatch,
+		CacheEntries: *cache,
+		Scorers:      *scorers,
+		EfSearch:     *ef,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		log.Printf("%s: draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}

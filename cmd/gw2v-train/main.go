@@ -16,7 +16,6 @@ import (
 	"graphword2vec/internal/cliutil"
 	"graphword2vec/internal/core"
 	"graphword2vec/internal/corpus"
-	"graphword2vec/internal/gluon"
 	"graphword2vec/internal/model"
 	"graphword2vec/internal/sgns"
 	"graphword2vec/internal/vocab"
@@ -38,18 +37,15 @@ func main() {
 		hosts      = flag.Int("hosts", 1, "simulated hosts (1 = shared-memory training)")
 		threads    = flag.Int("threads", 1, "Hogwild threads (per host)")
 		syncRounds = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
-		combiner   = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
-		modeStr    = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
-		wireStr    = flag.String("wire", "packed", "sync payload codec: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
+		comm       = cliutil.RegisterComm(flag.CommandLine, "")
 		seed       = flag.Uint64("seed", 1, "random seed")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		profiles   = cliutil.RegisterProfiles(flag.CommandLine)
 	)
 	flag.Parse()
 	if *corpusPath == "" {
 		log.Fatal("-corpus is required")
 	}
-	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,11 +108,7 @@ func main() {
 		fmt.Printf("trained %d pairs in %s\n", st.Pairs, time.Since(start).Round(time.Millisecond))
 		trained = m
 	} else {
-		mode, err := gluon.ParseMode(*modeStr)
-		if err != nil {
-			fatal(err)
-		}
-		wire, err := gluon.ParseCodec(*wireStr)
+		mode, wire, err := comm.Resolve()
 		if err != nil {
 			fatal(err)
 		}
@@ -124,7 +116,7 @@ func main() {
 		cfg.Epochs = *epochs
 		cfg.Alpha = float32(*alpha)
 		cfg.Params = params
-		cfg.CombinerName = *combiner
+		cfg.CombinerName = comm.Combiner
 		cfg.Mode = mode
 		cfg.Wire = wire
 		cfg.Seed = *seed
@@ -145,7 +137,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trained on %d hosts (%s, %s) in %s; total volume %s\n",
-			*hosts, *combiner, mode, time.Since(start).Round(time.Millisecond),
+			*hosts, comm.Combiner, mode, time.Since(start).Round(time.Millisecond),
 			cliutil.FormatBytes(res.Comm.TotalBytes()))
 		trained = res.Canonical
 	}

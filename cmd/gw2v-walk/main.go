@@ -23,7 +23,6 @@ import (
 	"graphword2vec/internal/cliutil"
 	"graphword2vec/internal/core"
 	"graphword2vec/internal/eval"
-	"graphword2vec/internal/gluon"
 	"graphword2vec/internal/harness"
 	"graphword2vec/internal/model"
 	"graphword2vec/internal/sgns"
@@ -47,9 +46,7 @@ func main() {
 		negatives = flag.Int("negatives", 5, "negative samples per pair")
 		walkLen   = flag.Int("walk-length", 0, "vertices per walk (0 = default)")
 		walksPer  = flag.Int("walks-per-vertex", 0, "walks per start vertex per epoch (0 = default)")
-		combiner  = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
-		modeStr   = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
-		wireStr   = flag.String("wire", "packed", "sync payload codec: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
+		comm      = cliutil.RegisterComm(flag.CommandLine, "")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		neighbors = flag.String("neighbors", "", "print the nearest neighbours of this vertex after training")
 		k         = flag.Int("k", 10, "neighbour count for -neighbors")
@@ -58,11 +55,7 @@ func main() {
 	if (*graphPath == "") == (*preset == "") {
 		log.Fatal("exactly one of -graph or -preset is required")
 	}
-	mode, err := gluon.ParseMode(*modeStr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	wire, err := gluon.ParseCodec(*wireStr)
+	mode, wire, err := comm.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +90,7 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.Alpha = float32(*alpha)
 	cfg.Params = sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: wcfg.WalkLength}
-	cfg.CombinerName = *combiner
+	cfg.CombinerName = comm.Combiner
 	cfg.Mode = mode
 	cfg.Wire = wire
 	cfg.Seed = *seed
@@ -112,7 +105,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained %d pairs on %d hosts (%s, %s) in %s; %s communicated\n",
-		res.Train.Pairs, *hosts, *combiner, mode, time.Since(start).Round(time.Millisecond),
+		res.Train.Pairs, *hosts, comm.Combiner, mode, time.Since(start).Round(time.Millisecond),
 		cliutil.FormatBytes(res.Comm.TotalBytes()))
 
 	if gd != nil {

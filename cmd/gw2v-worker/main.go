@@ -78,9 +78,7 @@ func main() {
 		sample      = flag.Float64("sample", 1e-4, "text workload: frequent-word subsampling threshold (0 = off)")
 		threads     = flag.Int("threads", 1, "Hogwild threads on this host (>1 sacrifices bit-determinism)")
 		syncRounds  = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
-		combiner    = flag.String("combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
-		modeStr     = flag.String("mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
-		wireStr     = flag.String("wire", "packed", "sync payload codec, identical on every rank: packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
+		commFlags   = cliutil.RegisterComm(flag.CommandLine, ", identical on every rank")
 		seed        = flag.Uint64("seed", 1, "random seed (identical on every rank)")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers during bootstrap")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
@@ -94,11 +92,7 @@ func main() {
 		log.Fatalf("-rank %d out of range for %d peers", *rank, len(peers))
 	}
 	hosts := len(peers)
-	mode, err := gluon.ParseMode(*modeStr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	wire, err := gluon.ParseCodec(*wireStr)
+	mode, wire, err := commFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -189,7 +183,7 @@ func main() {
 	cfg.Epochs = *epochs
 	cfg.Alpha = float32(*alpha)
 	cfg.Params = params
-	cfg.CombinerName = *combiner
+	cfg.CombinerName = commFlags.Combiner
 	cfg.Mode = mode
 	cfg.Wire = wire
 	cfg.Seed = *seed

@@ -1,0 +1,98 @@
+package cliutil
+
+// Shared flag surfaces. Before these helpers, gw2v-train, gw2v-worker
+// and gw2v-walk each declared their own -combiner/-mode/-wire trio and
+// gw2v-train/gw2v-bench their own -cpuprofile/-memprofile pair, with
+// hand-copied help text that had already started to drift. Every tool
+// now registers the canonical definition, so flag names, defaults and
+// documentation stay identical across the whole CLI by construction.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vocab"
+)
+
+// CommFlags holds the distributed-training communication flags after
+// parsing. Resolve validates them into their typed forms.
+type CommFlags struct {
+	// Combiner is the reduction name (validated by train.Config).
+	Combiner string
+	// Mode is the communication mode name.
+	Mode string
+	// Wire is the sync payload codec name.
+	Wire string
+}
+
+// RegisterComm installs the canonical -combiner, -mode and -wire flags
+// on fs. wireNote is inserted after "codec" in the -wire help — pass
+// ", identical on every rank" for multi-process tools like gw2v-worker,
+// "" otherwise.
+func RegisterComm(fs *flag.FlagSet, wireNote string) *CommFlags {
+	c := &CommFlags{}
+	fs.StringVar(&c.Combiner, "combiner", "MC", "reduction: MC, AVG, SUM, MC-GS")
+	fs.StringVar(&c.Mode, "mode", "RepModel-Opt", "communication: RepModel-Naive, RepModel-Opt, PullModel")
+	fs.StringVar(&c.Wire, "wire", "packed",
+		"sync payload codec"+wireNote+": packed (lossless, default), raw, fp16 (lossy reduce payloads); see PROTOCOL.md")
+	return c
+}
+
+// Resolve parses the mode and wire names into their typed forms.
+func (c *CommFlags) Resolve() (gluon.Mode, gluon.Codec, error) {
+	mode, err := gluon.ParseMode(c.Mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	wire, err := gluon.ParseCodec(c.Wire)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mode, wire, nil
+}
+
+// ProfileFlags holds the pprof output paths after parsing.
+type ProfileFlags struct {
+	CPU string
+	Mem string
+}
+
+// RegisterProfiles installs the canonical -cpuprofile and -memprofile
+// flags on fs.
+func RegisterProfiles(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this path (pprof format)")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this path at exit")
+	return p
+}
+
+// Start begins profiling per the parsed flags; see StartProfiles.
+func (p *ProfileFlags) Start() (stop func() error, err error) {
+	return StartProfiles(p.CPU, p.Mem)
+}
+
+// LoadModelWithVocab loads a saved model together with its .vocab
+// sidecar and verifies row alignment — the read path shared by
+// gw2v-eval and gw2v-serve.
+func LoadModelWithVocab(path string) (*model.Model, *vocab.Vocabulary, error) {
+	m, err := model.LoadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	vf, err := os.Open(path + ".vocab")
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening vocabulary sidecar: %w", err)
+	}
+	voc, err := vocab.ReadCounts(vf, vocab.Options{MinCount: 1})
+	vf.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if voc.Size() != m.VocabSize() {
+		return nil, nil, fmt.Errorf("vocabulary has %d words but model has %d rows", voc.Size(), m.VocabSize())
+	}
+	return m, voc, nil
+}

@@ -18,11 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
+	"graphword2vec/internal/index"
 	"graphword2vec/internal/model"
-	"graphword2vec/internal/vecmath"
 	"graphword2vec/internal/vocab"
 )
 
@@ -75,15 +74,26 @@ type Options struct {
 	Workers int
 }
 
-// Analogies evaluates questions against the model's embedding layer.
+// Analogies evaluates questions against the model's embedding layer. It
+// is a convenience over AnalogiesIndexed that builds the normalized
+// index for one call; callers holding an index.Normalized (the serving
+// daemon, repeated evaluations) use AnalogiesIndexed directly.
 func Analogies(m *model.Model, v *vocab.Vocabulary, questions []Question, opts Options) (*Result, error) {
 	if m.VocabSize() != v.Size() {
 		return nil, errors.New("eval: model/vocabulary size mismatch")
 	}
+	return AnalogiesIndexed(index.NewNormalized(m), v, questions, opts)
+}
+
+// AnalogiesIndexed evaluates questions against a precomputed normalized
+// index.
+func AnalogiesIndexed(normed *index.Normalized, v *vocab.Vocabulary, questions []Question, opts Options) (*Result, error) {
+	if normed.Rows() != v.Size() {
+		return nil, errors.New("eval: index/vocabulary size mismatch")
+	}
 	if len(questions) == 0 {
 		return nil, errors.New("eval: no questions")
 	}
-	normed := normalizedEmbeddings(m)
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -101,7 +111,7 @@ func Analogies(m *model.Model, v *vocab.Vocabulary, questions []Question, opts O
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			target := make([]float32, m.Dim)
+			target := make([]float32, normed.Dim())
 			for qi := w; qi < len(questions); qi += workers {
 				q := questions[qi]
 				oc := &outcomes[qi]
@@ -112,13 +122,11 @@ func Analogies(m *model.Model, v *vocab.Vocabulary, questions []Question, opts O
 					oc.skipped = true
 					continue
 				}
-				// target = b − a + c over unit vectors (3CosAdd).
-				rowA, rowB, rowC := normed.Row(int(a)), normed.Row(int(b)), normed.Row(int(c))
-				for i := range target {
-					target[i] = rowB[i] - rowA[i] + rowC[i]
-				}
-				best := bestMatch(normed, target, a, b, c)
-				oc.correct = best == d
+				// target = b − a + c over unit vectors (3CosAdd), best
+				// answer by dot order with the three query words excluded.
+				normed.AnalogyInto(target, a, b, c)
+				best, _ := normed.Best(target, a, b, c)
+				oc.correct = best.ID == d
 			}
 		}(w)
 	}
@@ -153,34 +161,6 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// normalizedEmbeddings returns a unit-norm copy of the embedding layer.
-func normalizedEmbeddings(m *model.Model) *vecmath.Matrix {
-	normed := m.Emb.Clone()
-	for i := 0; i < normed.Rows; i++ {
-		vecmath.Normalize(normed.Row(i))
-	}
-	return normed
-}
-
-// bestMatch returns the id with the highest dot product against target,
-// excluding the three query ids. Rows of normed are unit vectors, so dot
-// order equals cosine order.
-func bestMatch(normed *vecmath.Matrix, target []float32, exclude1, exclude2, exclude3 int32) int32 {
-	best := int32(-1)
-	bestScore := float32(-1e30)
-	for id := int32(0); id < int32(normed.Rows); id++ {
-		if id == exclude1 || id == exclude2 || id == exclude3 {
-			continue
-		}
-		s := vecmath.Dot(normed.Row(int(id)), target)
-		if s > bestScore {
-			bestScore = s
-			best = id
-		}
-	}
-	return best
-}
-
 // Neighbor is one nearest-neighbour hit.
 type Neighbor struct {
 	Word       string
@@ -188,8 +168,18 @@ type Neighbor struct {
 }
 
 // NearestNeighbors returns the k vocabulary words most cosine-similar to
-// word's embedding (excluding word itself).
+// word's embedding (excluding word itself). It is a convenience over
+// NearestNeighborsIndexed that builds the normalized index for one
+// call; the query path is identical, so results are byte-for-byte the
+// same as the pre-index implementation (same dots, same (sim desc, id
+// asc) order).
 func NearestNeighbors(m *model.Model, v *vocab.Vocabulary, word string, k int) ([]Neighbor, error) {
+	return NearestNeighborsIndexed(index.NewNormalized(m), v, word, k)
+}
+
+// NearestNeighborsIndexed answers a neighbour query from a precomputed
+// normalized index.
+func NearestNeighborsIndexed(normed *index.Normalized, v *vocab.Vocabulary, word string, k int) ([]Neighbor, error) {
 	id := v.ID(word)
 	if id < 0 {
 		return nil, fmt.Errorf("eval: %q not in vocabulary", word)
@@ -197,34 +187,10 @@ func NearestNeighbors(m *model.Model, v *vocab.Vocabulary, word string, k int) (
 	if k <= 0 {
 		return nil, fmt.Errorf("eval: k must be positive, got %d", k)
 	}
-	query := append([]float32(nil), m.EmbRow(id)...)
-	vecmath.Normalize(query)
-	type scored struct {
-		id  int32
-		sim float32
-	}
-	all := make([]scored, 0, v.Size()-1)
-	row := make([]float32, m.Dim)
-	for cand := int32(0); cand < int32(v.Size()); cand++ {
-		if cand == id {
-			continue
-		}
-		copy(row, m.EmbRow(cand))
-		vecmath.Normalize(row)
-		all = append(all, scored{id: cand, sim: vecmath.Dot(query, row)})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].sim != all[j].sim {
-			return all[i].sim > all[j].sim
-		}
-		return all[i].id < all[j].id
-	})
-	if k > len(all) {
-		k = len(all)
-	}
-	out := make([]Neighbor, k)
-	for i := 0; i < k; i++ {
-		out[i] = Neighbor{Word: v.Text(all[i].id), Similarity: all[i].sim}
+	top := normed.TopK(nil, normed.Row(int(id)), k, id)
+	out := make([]Neighbor, len(top))
+	for i, c := range top {
+		out[i] = Neighbor{Word: v.Text(c.ID), Similarity: c.Score}
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"graphword2vec/internal/index"
 	"graphword2vec/internal/model"
 	"graphword2vec/internal/vecmath"
 )
@@ -34,8 +35,8 @@ func CommunityPurity(m *model.Model, labels []int32, k int) (float64, error) {
 	if k == 0 {
 		return 0, errors.New("eval: need at least 2 vertices")
 	}
-	normed := normalizedEmbeddings(m)
-	n := normed.Rows
+	normed := index.NewNormalized(m)
+	n := normed.Rows()
 	workers := runtime.GOMAXPROCS(0)
 	purity := make([]float64, n)
 	var wg sync.WaitGroup
@@ -94,10 +95,10 @@ func LinkAUC(m *model.Model, pos, neg [][2]int32) (float64, error) {
 	if len(pos) == 0 || len(neg) == 0 {
 		return 0, errors.New("eval: LinkAUC needs positive and negative pairs")
 	}
-	normed := normalizedEmbeddings(m)
+	normed := index.NewNormalized(m)
 	score := func(p [2]int32) (float32, error) {
-		if p[0] < 0 || int(p[0]) >= normed.Rows || p[1] < 0 || int(p[1]) >= normed.Rows {
-			return 0, fmt.Errorf("eval: pair (%d,%d) out of range [0,%d)", p[0], p[1], normed.Rows)
+		if p[0] < 0 || int(p[0]) >= normed.Rows() || p[1] < 0 || int(p[1]) >= normed.Rows() {
+			return 0, fmt.Errorf("eval: pair (%d,%d) out of range [0,%d)", p[0], p[1], normed.Rows())
 		}
 		return vecmath.Dot(normed.Row(int(p[0])), normed.Row(int(p[1]))), nil
 	}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"sort"
+	"testing"
+
+	"graphword2vec/internal/index"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vecmath"
+	"graphword2vec/internal/vocab"
+)
+
+// The eval package was rebased from a per-call normalizedEmbeddings
+// rebuild onto the shared index.Normalized (ISSUE 6). These tests pin
+// the refactor bit-for-bit against a verbatim copy of the pre-index
+// implementation, so gw2v-eval output stays byte-identical.
+
+// legacyNearestNeighbors is the pre-index NearestNeighbors, kept
+// verbatim (per-call normalization of query and every candidate, full
+// sort with (sim desc, id asc) order).
+func legacyNearestNeighbors(m *model.Model, v *vocab.Vocabulary, word string, k int) []Neighbor {
+	id := v.ID(word)
+	query := append([]float32(nil), m.EmbRow(id)...)
+	vecmath.Normalize(query)
+	type scored struct {
+		id  int32
+		sim float32
+	}
+	all := make([]scored, 0, v.Size()-1)
+	row := make([]float32, m.Dim)
+	for cand := int32(0); cand < int32(v.Size()); cand++ {
+		if cand == id {
+			continue
+		}
+		copy(row, m.EmbRow(cand))
+		vecmath.Normalize(row)
+		all = append(all, scored{id: cand, sim: vecmath.Dot(query, row)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Neighbor, k)
+	for i := 0; i < k; i++ {
+		out[i] = Neighbor{Word: v.Text(all[i].id), Similarity: all[i].sim}
+	}
+	return out
+}
+
+// legacyBestMatch is the pre-index analogy answer selection, verbatim.
+func legacyBestMatch(m *model.Model, target []float32, exclude1, exclude2, exclude3 int32) int32 {
+	normed := m.Emb.Clone()
+	for i := 0; i < normed.Rows; i++ {
+		vecmath.Normalize(normed.Row(i))
+	}
+	best := int32(-1)
+	bestScore := float32(-1e30)
+	for id := int32(0); id < int32(normed.Rows); id++ {
+		if id == exclude1 || id == exclude2 || id == exclude3 {
+			continue
+		}
+		s := vecmath.Dot(normed.Row(int(id)), target)
+		if s > bestScore {
+			bestScore = s
+			best = id
+		}
+	}
+	return best
+}
+
+// identityVocab builds a vocabulary of n synthetic words.
+func identityVocab(t *testing.T, n int) *vocab.Vocabulary {
+	t.Helper()
+	b := vocab.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddN(word(i), int64(n-i+1))
+	}
+	v, err := b.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func word(i int) string { return string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+
+func TestNearestNeighborsByteIdentical(t *testing.T) {
+	const n = 137
+	v := identityVocab(t, n)
+	m := model.New(v.Size(), 24)
+	m.InitRandom(42)
+	for _, k := range []int{1, 5, 10, v.Size() - 1, v.Size() + 10} {
+		for _, w := range []string{word(0), word(17), word(97)} {
+			got, err := NearestNeighbors(m, v, w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := legacyNearestNeighbors(m, v, w, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d word=%s: %d neighbours, want %d", k, w, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d word=%s neighbour %d: %+v differs from legacy %+v",
+						k, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAnalogyAnswerByteIdentical(t *testing.T) {
+	const n = 90
+	v := identityVocab(t, n)
+	m := model.New(v.Size(), 16)
+	m.InitRandom(7)
+	normed := index.NewNormalized(m)
+	target := make([]float32, normed.Dim())
+	for _, q := range [][3]int32{{0, 1, 2}, {10, 40, 70}, {89, 3, 55}} {
+		normed.AnalogyInto(target, q[0], q[1], q[2])
+		got, _ := normed.Best(target, q[0], q[1], q[2])
+		want := legacyBestMatch(m, target, q[0], q[1], q[2])
+		if got.ID != want {
+			t.Fatalf("analogy %v: answer %d differs from legacy %d", q, got.ID, want)
+		}
+	}
+}

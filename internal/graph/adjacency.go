@@ -1,0 +1,77 @@
+package graph
+
+import "fmt"
+
+// Adjacency is a mutable neighbour-list structure with a fixed per-node
+// capacity, stored in one flat allocation. Where the walk package's CSR
+// graph is immutable and sized exactly by its edge list, Adjacency is
+// built for structures whose neighbour sets are *bounded but revised
+// during construction* — the layers of the serving side's HNSW index
+// (internal/index) are the motivating client: every node holds at most
+// cap links, links are rewritten as better candidates arrive, and after
+// construction the structure is read-only and safe for concurrent
+// readers.
+type Adjacency struct {
+	nodes int
+	cap   int
+	deg   []int32
+	nbr   []int32 // node*cap flat backing; nbr[n*cap : n*cap+deg[n]] are live
+}
+
+// NewAdjacency allocates an empty adjacency over nodes nodes with at
+// most capPerNode neighbours each.
+func NewAdjacency(nodes, capPerNode int) *Adjacency {
+	if nodes < 0 || capPerNode <= 0 {
+		panic(fmt.Sprintf("graph: bad adjacency shape %d×%d", nodes, capPerNode))
+	}
+	return &Adjacency{
+		nodes: nodes,
+		cap:   capPerNode,
+		deg:   make([]int32, nodes),
+		nbr:   make([]int32, nodes*capPerNode),
+	}
+}
+
+// NumNodes returns the node count.
+func (a *Adjacency) NumNodes() int { return a.nodes }
+
+// Cap returns the per-node neighbour capacity.
+func (a *Adjacency) Cap() int { return a.cap }
+
+// Degree returns node n's current neighbour count.
+func (a *Adjacency) Degree(n int32) int { return int(a.deg[n]) }
+
+// Neighbors returns a view of node n's neighbour list. The view is
+// invalidated by a subsequent Set or Append on n.
+func (a *Adjacency) Neighbors(n int32) []int32 {
+	off := int(n) * a.cap
+	return a.nbr[off : off+int(a.deg[n]) : off+a.cap]
+}
+
+// Set replaces node n's neighbour list. len(nbrs) must not exceed the
+// per-node capacity.
+func (a *Adjacency) Set(n int32, nbrs []int32) {
+	if len(nbrs) > a.cap {
+		panic(fmt.Sprintf("graph: adjacency overflow: %d neighbours, cap %d", len(nbrs), a.cap))
+	}
+	off := int(n) * a.cap
+	copy(a.nbr[off:], nbrs)
+	a.deg[n] = int32(len(nbrs))
+}
+
+// Append adds m to node n's neighbour list, reporting false when n is
+// already at capacity (the caller then re-selects the list via Set).
+func (a *Adjacency) Append(n, m int32) bool {
+	d := int(a.deg[n])
+	if d == a.cap {
+		return false
+	}
+	a.nbr[int(n)*a.cap+d] = m
+	a.deg[n]++
+	return true
+}
+
+// MemoryBytes returns the size of the backing stores in bytes.
+func (a *Adjacency) MemoryBytes() int64 {
+	return int64(len(a.nbr))*4 + int64(len(a.deg))*4
+}

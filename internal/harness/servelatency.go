@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"graphword2vec/internal/index"
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/serve"
+	"graphword2vec/internal/vocab"
+	"graphword2vec/internal/xrand"
+)
+
+// The serve-latency experiment measures the query side of the system:
+// end-to-end request latency and throughput of the gw2v-serve HTTP
+// pipeline (JSON decode → scorer pool → index → JSON encode) across the
+// serving design's three levers — exact scan vs HNSW, single vs batch
+// requests, result cache off vs on. Requests are driven straight into
+// Server.ServeHTTP via httptest recorders, so the rows capture the full
+// software path without loopback-socket noise on the 1-CPU bench
+// container. Rows are recorded in BENCH_serve.json and EXPERIMENTS.md;
+// the wire contract under test is API.md.
+
+// ServeLatencyRequests is the number of measured requests per cell.
+var ServeLatencyRequests = 2000
+
+// ServeLatencyWarmup is the number of discarded warm-up requests.
+var ServeLatencyWarmup = 200
+
+// ServeLatencyBatches are the batch sizes measured (1 = the single-query
+// endpoint, >1 = /v1/neighbors/batch).
+var ServeLatencyBatches = []int{1, 16}
+
+// ServeLatencyWorkingSet is the number of distinct query words cycled
+// through; with the cache on, steady state is all hits.
+var ServeLatencyWorkingSet = 256
+
+// ServeLatencyRecallSample is how many words the recall@10 check
+// compares between the ANN and exact rankings.
+var ServeLatencyRecallSample = 200
+
+// ServeLatencyRow is one (index, batch, cache) cell.
+type ServeLatencyRow struct {
+	// Index is "exact" or "hnsw".
+	Index string `json:"index"`
+	// Batch is the queries per request (1 = single-query endpoint).
+	Batch int `json:"batch"`
+	// Cache reports whether the result cache was enabled.
+	Cache bool `json:"cache"`
+	// Requests is the measured request count.
+	Requests int `json:"requests"`
+	// QPS is queries (not requests) per second of wall time.
+	QPS float64 `json:"qps"`
+	// P50Micros / P99Micros are per-request latency percentiles.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// RecallAt10 is the mean overlap between this index's top-10 and the
+	// exact top-10 (1.0 by construction for exact rows).
+	RecallAt10 float64 `json:"recall_at_10"`
+	// CacheHitRate is hits/(hits+misses) over the measured window; zero
+	// when the cache is off or the endpoint is uncached (batches).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// serveLatencyVocabSize scales the served vocabulary with the dataset
+// scale (the small default matches the wiki preset's vocabulary).
+func serveLatencyVocabSize(opts Options) int {
+	base := 8000.0
+	switch opts.Scale.String() {
+	case "tiny":
+		return int(base * 0.25)
+	case "full":
+		return int(base * 2)
+	default:
+		return int(base)
+	}
+}
+
+// serveLatencySnapshot builds the in-memory snapshot the grid serves: a
+// deterministic random model (serving cost does not depend on trained
+// weights) over a synthetic vocabulary.
+func serveLatencySnapshot(opts Options, ann bool) (*serve.Snapshot, error) {
+	n := serveLatencyVocabSize(opts)
+	b := vocab.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddN(fmt.Sprintf("w%05d", i), int64(2*n-i))
+	}
+	voc, err := b.Build(vocab.Options{MinCount: 1})
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(n, opts.Dim)
+	m.InitRandom(opts.Seed)
+	return serve.NewSnapshot("bench", m, voc, serve.StoreConfig{BuildANN: ann}), nil
+}
+
+// serveRecallAt10 compares the snapshot's ANN top-10 against the exact
+// top-10 over a word sample.
+func serveRecallAt10(snap *serve.Snapshot) float64 {
+	if snap.ANN == nil {
+		return 1
+	}
+	rows := snap.Norm.Rows()
+	stride := rows / ServeLatencyRecallSample
+	if stride < 1 {
+		stride = 1
+	}
+	s := index.NewSearcher(snap.ANN)
+	var overlap, total int
+	for id := 0; id < rows; id += stride {
+		target := snap.Norm.Row(id)
+		exact := snap.Norm.TopK(nil, target, 10, int32(id))
+		got := snap.ANN.SearchWith(s, nil, target, 10, 0, []int32{int32(id)})
+		in := make(map[int32]bool, len(got))
+		for _, c := range got {
+			in[c.ID] = true
+		}
+		for _, c := range exact {
+			if in[c.ID] {
+				overlap++
+			}
+			total++
+		}
+	}
+	return float64(overlap) / float64(total)
+}
+
+// serveLatencyCell drives one grid cell and reduces it to a row.
+func serveLatencyCell(snap *serve.Snapshot, srv *serve.Server, hnsw bool, batch int, cached bool, seed uint64) (ServeLatencyRow, error) {
+	r := xrand.New(seed)
+	vocabSize := snap.Vocab.Size()
+	word := func() string {
+		// Cycle a bounded working set so cache-on rows reach steady state.
+		return snap.Vocab.Text(int32(r.Intn(ServeLatencyWorkingSet) * (vocabSize / ServeLatencyWorkingSet)))
+	}
+	body := func() []byte {
+		var raw []byte
+		var err error
+		if batch == 1 {
+			raw, err = json.Marshal(serve.NeighborsRequest{Word: word(), K: 10, Exact: !hnsw})
+		} else {
+			qs := make([]serve.NeighborsRequest, batch)
+			for i := range qs {
+				qs[i] = serve.NeighborsRequest{Word: word(), K: 10, Exact: !hnsw}
+			}
+			raw, err = json.Marshal(serve.NeighborsBatchRequest{Queries: qs})
+		}
+		if err != nil {
+			panic(err)
+		}
+		return raw
+	}
+	path := "/v1/neighbors"
+	if batch > 1 {
+		path = "/v1/neighbors/batch"
+	}
+	send := func(raw []byte) error {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(raw))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != 200 {
+			return fmt.Errorf("harness: serve-latency %s: status %d: %s", path, w.Code, w.Body.String())
+		}
+		return nil
+	}
+
+	for i := 0; i < ServeLatencyWarmup; i++ {
+		if err := send(body()); err != nil {
+			return ServeLatencyRow{}, err
+		}
+	}
+	requests := ServeLatencyRequests
+	if batch > 1 {
+		requests /= batch // comparable query volume per cell
+	}
+	lat := make([]float64, requests)
+	var info serve.InfoResponse
+	if err := serveInfo(srv, &info); err != nil {
+		return ServeLatencyRow{}, err
+	}
+	hitsBefore, missesBefore := cacheCounters(info)
+	start := time.Now()
+	for i := range lat {
+		raw := body()
+		t0 := time.Now()
+		if err := send(raw); err != nil {
+			return ServeLatencyRow{}, err
+		}
+		lat[i] = float64(time.Since(t0).Microseconds())
+	}
+	wall := time.Since(start).Seconds()
+	if err := serveInfo(srv, &info); err != nil {
+		return ServeLatencyRow{}, err
+	}
+	hitsAfter, missesAfter := cacheCounters(info)
+
+	sort.Float64s(lat)
+	row := ServeLatencyRow{
+		Batch:     batch,
+		Cache:     cached,
+		Requests:  requests,
+		QPS:       float64(requests*batch) / wall,
+		P50Micros: lat[len(lat)/2],
+		P99Micros: lat[len(lat)*99/100],
+	}
+	if hnsw {
+		row.Index = "hnsw"
+	} else {
+		row.Index = "exact"
+	}
+	if d := (hitsAfter - hitsBefore) + (missesAfter - missesBefore); cached && d > 0 {
+		row.CacheHitRate = float64(hitsAfter-hitsBefore) / float64(d)
+	}
+	return row, nil
+}
+
+// serveInfo fetches /v1/info into out.
+func serveInfo(srv *serve.Server, out *serve.InfoResponse) error {
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/info", nil))
+	if w.Code != 200 {
+		return fmt.Errorf("harness: serve-latency info: status %d", w.Code)
+	}
+	return json.Unmarshal(w.Body.Bytes(), out)
+}
+
+// cacheCounters extracts hit/miss counters (zero when cache disabled).
+func cacheCounters(info serve.InfoResponse) (hits, misses uint64) {
+	if info.Cache == nil {
+		return 0, 0
+	}
+	return info.Cache.Hits, info.Cache.Misses
+}
+
+// ServeLatency runs the full grid — {exact, hnsw} × ServeLatencyBatches
+// × cache {off, on} — rendering a table to opts.Out and returning the
+// rows.
+func ServeLatency(opts Options) ([]ServeLatencyRow, error) {
+	opts = opts.WithDefaults()
+	snap, err := serveLatencySnapshot(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	recall := serveRecallAt10(snap)
+
+	var rows []ServeLatencyRow
+	for _, cached := range []bool{false, true} {
+		cacheEntries := -1
+		if cached {
+			cacheEntries = 0 // server default
+		}
+		srv := serve.New(serve.NewStore(snap, serve.StoreConfig{}), serve.Config{CacheEntries: cacheEntries})
+		for _, hnsw := range []bool{false, true} {
+			for _, batch := range ServeLatencyBatches {
+				row, err := serveLatencyCell(snap, srv, hnsw, batch, cached, opts.Seed)
+				if err != nil {
+					srv.Close()
+					return nil, err
+				}
+				if hnsw {
+					row.RecallAt10 = recall
+				} else {
+					row.RecallAt10 = 1
+				}
+				rows = append(rows, row)
+			}
+		}
+		srv.Close()
+	}
+
+	tw := tabwriter.NewWriter(opts.out(), 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Serving latency (scale=%s, vocab=%d, dim=%d, %d queries/cell, httptest pipeline)\n",
+		opts.Scale, snap.Vocab.Size(), opts.Dim, ServeLatencyRequests)
+	fmt.Fprintln(tw, "Index\tBatch\tCache\tQPS\tp50 µs/req\tp99 µs/req\tRecall@10\tHit rate")
+	for _, r := range rows {
+		cache := "off"
+		if r.Cache {
+			cache = "on"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.0f\t%.0f\t%.0f\t%.3f\t%.2f\n",
+			r.Index, r.Batch, cache, r.QPS, r.P50Micros, r.P99Micros, r.RecallAt10, r.CacheHitRate)
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

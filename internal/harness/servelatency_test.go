@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"graphword2vec/internal/synth"
+)
+
+// TestServeLatencySmoke runs the serve-latency grid on a reduced
+// configuration and sanity-checks the rows: the full cell grid present,
+// positive throughput and ordered percentiles, exact recall pinned at 1,
+// ANN recall high, and a warm cache actually hitting.
+func TestServeLatencySmoke(t *testing.T) {
+	requests, warmup, batches, workingSet, recallSample :=
+		ServeLatencyRequests, ServeLatencyWarmup, ServeLatencyBatches, ServeLatencyWorkingSet, ServeLatencyRecallSample
+	ServeLatencyRequests = 64
+	ServeLatencyWarmup = 8
+	ServeLatencyBatches = []int{1, 8}
+	ServeLatencyWorkingSet = 16
+	ServeLatencyRecallSample = 50
+	defer func() {
+		ServeLatencyRequests, ServeLatencyWarmup, ServeLatencyBatches, ServeLatencyWorkingSet, ServeLatencyRecallSample =
+			requests, warmup, batches, workingSet, recallSample
+	}()
+
+	opts := Defaults(synth.ScaleTiny)
+	rows, err := ServeLatency(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cache {off, on} × index {exact, hnsw} × 2 batch sizes.
+	if want := 2 * 2 * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.QPS <= 0 || r.Requests <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		if r.P50Micros > r.P99Micros {
+			t.Errorf("p50 above p99: %+v", r)
+		}
+		if r.Index == "exact" && r.RecallAt10 != 1 {
+			t.Errorf("exact row with recall %v", r.RecallAt10)
+		}
+		if r.Index == "hnsw" && r.RecallAt10 < 0.95 {
+			t.Errorf("ANN recall@10 = %.3f, want >= 0.95: %+v", r.RecallAt10, r)
+		}
+		if r.Cache && r.Batch == 1 && r.CacheHitRate < 0.5 {
+			t.Errorf("warm cache barely hitting (%.2f): %+v", r.CacheHitRate, r)
+		}
+		if !r.Cache && r.CacheHitRate != 0 {
+			t.Errorf("cache-off row reports hits: %+v", r)
+		}
+	}
+}

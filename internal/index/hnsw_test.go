@@ -1,0 +1,149 @@
+package index
+
+import (
+	"testing"
+
+	"graphword2vec/internal/model"
+)
+
+func buildTest(t *testing.T, vocab, dim int, seed uint64) (*Normalized, *HNSW) {
+	t.Helper()
+	m := testModel(t, vocab, dim, seed)
+	n := NewNormalized(m)
+	h := BuildHNSW(n, DefaultHNSWConfig())
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n, h
+}
+
+func TestHNSWDeterministicBuild(t *testing.T) {
+	m := testModel(t, 300, 16, 5)
+	n := NewNormalized(m)
+	a := BuildHNSW(n, DefaultHNSWConfig())
+	b := BuildHNSW(n, DefaultHNSWConfig())
+	if a.Layers() != b.Layers() || a.entry != b.entry {
+		t.Fatalf("builds differ: layers %d/%d entry %d/%d", a.Layers(), b.Layers(), a.entry, b.entry)
+	}
+	q := n.Row(17)
+	ra, rb := a.Search(q, 10), b.Search(q, 10)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("search differs at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestHNSWTinyAndEmpty(t *testing.T) {
+	// Empty index: no panic, no results.
+	empty := &HNSW{norm: NewNormalized(model.New(1, 4)), entry: -1}
+	if got := empty.Search(make([]float32, 4), 3); len(got) != 0 {
+		t.Fatalf("empty index returned %v", got)
+	}
+	// One- and two-row indexes.
+	for _, vocab := range []int{1, 2, 3} {
+		n, h := buildTest(t, vocab, 8, 2)
+		got := h.Search(n.Row(0), vocab)
+		if len(got) != vocab {
+			t.Fatalf("vocab=%d: got %d results, want %d", vocab, len(got), vocab)
+		}
+		if got[0].ID != 0 {
+			t.Fatalf("vocab=%d: self not first: %+v", vocab, got)
+		}
+	}
+}
+
+func TestHNSWSelfIsTopHit(t *testing.T) {
+	n, h := buildTest(t, 500, 24, 4)
+	for _, id := range []int32{0, 7, 123, 499} {
+		got := h.Search(n.Row(int(id)), 1)
+		if len(got) != 1 || got[0].ID != id {
+			t.Fatalf("query for own row %d returned %+v", id, got)
+		}
+	}
+}
+
+func TestHNSWExcludeSkipsIDs(t *testing.T) {
+	n, h := buildTest(t, 200, 16, 6)
+	s := NewSearcher(h)
+	got := h.SearchWith(s, nil, n.Row(9), 5, 0, []int32{9})
+	for _, c := range got {
+		if c.ID == 9 {
+			t.Fatalf("excluded id 9 present in %+v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d results, want 5", len(got))
+	}
+}
+
+// recallAt10 measures overlap between the HNSW and exact top-10 over
+// every nq-th row used as a query (self excluded from both).
+func recallAt10(n *Normalized, h *HNSW, ef int) float64 {
+	const k = 10
+	s := NewSearcher(h)
+	var hits, total int
+	for id := int32(0); id < int32(n.Rows()); id += 7 {
+		q := n.Row(int(id))
+		exact := n.TopK(nil, q, k, id)
+		approx := h.SearchWith(s, nil, q, k, ef, []int32{id})
+		want := make(map[int32]bool, k)
+		for _, c := range exact {
+			want[c.ID] = true
+		}
+		for _, c := range approx {
+			if want[c.ID] {
+				hits++
+			}
+		}
+		total += len(exact)
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestHNSWRecall(t *testing.T) {
+	// Random embeddings are the hard case for a proximity graph (no
+	// cluster structure to exploit); the serving defaults must still
+	// reach recall@10 >= 0.95 at a synth-preset-sized vocabulary.
+	n, h := buildTest(t, 2000, 32, 1)
+	if r := recallAt10(n, h, 0); r < 0.95 {
+		t.Fatalf("recall@10 = %.3f at default ef, want >= 0.95", r)
+	}
+	// A wider beam must not hurt recall materially.
+	if r0, r1 := recallAt10(n, h, 64), recallAt10(n, h, 256); r1+1e-9 < r0-0.02 {
+		t.Fatalf("recall fell with wider beam: ef=64 %.3f vs ef=256 %.3f", r0, r1)
+	}
+}
+
+func TestSearcherFits(t *testing.T) {
+	_, h1 := buildTest(t, 100, 8, 1)
+	_, h2 := buildTest(t, 200, 8, 1)
+	s := NewSearcher(h1)
+	if !s.Fits(h1) || s.Fits(h2) {
+		t.Fatal("Searcher.Fits does not track index size")
+	}
+}
+
+func BenchmarkExactTopK(b *testing.B) {
+	m := model.New(8000, 48)
+	m.InitRandom(1)
+	n := NewNormalized(m)
+	dst := make([]Candidate, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = n.TopK(dst, n.Row(i%n.Rows()), 10)
+	}
+}
+
+func BenchmarkHNSWSearch(b *testing.B) {
+	m := model.New(8000, 48)
+	m.InitRandom(1)
+	n := NewNormalized(m)
+	h := BuildHNSW(n, DefaultHNSWConfig())
+	s := NewSearcher(h)
+	dst := make([]Candidate, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = h.SearchWith(s, dst, n.Row(i%n.Rows()), 10, 0, nil)
+	}
+}

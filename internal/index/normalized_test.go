@@ -1,0 +1,123 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"graphword2vec/internal/model"
+	"graphword2vec/internal/vecmath"
+)
+
+// testModel returns a deterministic random model.
+func testModel(t *testing.T, vocab, dim int, seed uint64) *model.Model {
+	t.Helper()
+	m := model.New(vocab, dim)
+	m.InitRandom(seed)
+	return m
+}
+
+func TestNormalizedRowsAreUnit(t *testing.T) {
+	m := testModel(t, 50, 16, 7)
+	n := NewNormalized(m)
+	if n.Rows() != 50 || n.Dim() != 16 {
+		t.Fatalf("shape = %dx%d, want 50x16", n.Rows(), n.Dim())
+	}
+	for i := 0; i < n.Rows(); i++ {
+		norm := vecmath.Norm2(n.Row(i))
+		if math.Abs(float64(norm)-1) > 1e-5 {
+			t.Fatalf("row %d norm = %v, want 1", i, norm)
+		}
+	}
+	// The source model must be untouched.
+	if vecmath.Norm2(m.EmbRow(0)) == 1 {
+		t.Fatal("NewNormalized appears to have normalized the model in place")
+	}
+}
+
+// bruteTopK is the reference: full sort by (score desc, id asc).
+func bruteTopK(n *Normalized, target []float32, k int, exclude ...int32) []Candidate {
+	var all []Candidate
+scan:
+	for id := int32(0); id < int32(n.Rows()); id++ {
+		for _, ex := range exclude {
+			if id == ex {
+				continue scan
+			}
+		}
+		all = append(all, Candidate{ID: id, Score: vecmath.Dot(n.Row(int(id)), target)})
+	}
+	sort.Slice(all, func(i, j int) bool { return better(all[i], all[j]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	m := testModel(t, 120, 8, 3)
+	n := NewNormalized(m)
+	target := append([]float32(nil), n.Row(5)...)
+	for _, k := range []int{1, 3, 10, 119, 120, 500} {
+		got := n.TopK(nil, target, k, 5)
+		want := bruteTopK(n, target, k, 5)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d candidates, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: candidate %d = %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKTieBreaksByID(t *testing.T) {
+	// Identical rows everywhere: every score ties, so the top-k must be
+	// the k smallest ids.
+	m := model.New(20, 4)
+	for i := 0; i < 20; i++ {
+		copy(m.Emb.Row(i), []float32{1, 2, 3, 4})
+	}
+	n := NewNormalized(m)
+	got := n.TopK(nil, n.Row(0), 5)
+	for i, c := range got {
+		if c.ID != int32(i) {
+			t.Fatalf("tie-break: candidate %d has id %d, want %d", i, c.ID, i)
+		}
+	}
+}
+
+func TestTopKReusesDst(t *testing.T) {
+	m := testModel(t, 60, 8, 9)
+	n := NewNormalized(m)
+	dst := make([]Candidate, 0, 10)
+	got := n.TopK(dst, n.Row(1), 10)
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("TopK did not reuse dst's backing array")
+	}
+}
+
+func TestBestMatchesTopK1(t *testing.T) {
+	m := testModel(t, 80, 12, 11)
+	n := NewNormalized(m)
+	target := make([]float32, n.Dim())
+	n.AnalogyInto(target, 1, 2, 3)
+	best, ok := n.Best(target, 1, 2, 3)
+	if !ok {
+		t.Fatal("Best found nothing")
+	}
+	top := n.TopK(nil, target, 1, 1, 2, 3)
+	if best != top[0] {
+		t.Fatalf("Best = %+v, TopK(1) = %+v", best, top[0])
+	}
+}
+
+func TestZeroVectorRowsAreStable(t *testing.T) {
+	m := model.New(4, 8) // all-zero embeddings
+	n := NewNormalized(m)
+	got := n.TopK(nil, n.Row(0), 2)
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("zero-model TopK = %+v, want ids 0,1", got)
+	}
+}

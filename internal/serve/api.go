@@ -1,0 +1,162 @@
+package serve
+
+// The /v1 wire types. The request/response JSON contract, the error
+// envelope and the version-bump policy are specified in API.md; these
+// structs are that document's source of truth on the Go side. Field
+// additions are backwards-compatible (clients must ignore unknown
+// response fields, the server ignores unknown request fields); any
+// rename, removal or semantic change bumps the path version.
+
+// Error is the uniform error envelope: every non-2xx response body is
+// exactly one of these, and failed items inside batch responses embed
+// the same two fields.
+type Error struct {
+	// Code is a stable machine-readable identifier (API.md §2).
+	Code string `json:"code"`
+	// Message is human-readable detail; clients must not parse it.
+	Message string `json:"message"`
+}
+
+// Stable error codes.
+const (
+	CodeBadRequest       = "bad_request" // malformed JSON, invalid parameters
+	CodeNotFound         = "not_found"   // unknown endpoint or out-of-vocabulary word
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeBatchTooLarge    = "batch_too_large" // batch exceeds the server's limit
+	CodeUnavailable      = "unavailable"     // no model snapshot loaded
+	CodeInternal         = "internal"
+)
+
+// Hit is one scored vocabulary word.
+type Hit struct {
+	Word  string  `json:"word"`
+	Score float32 `json:"score"`
+}
+
+// NeighborsRequest asks for the top-k nearest neighbours of a word.
+type NeighborsRequest struct {
+	// Word is the query word (required).
+	Word string `json:"word"`
+	// K is the neighbour count: 0 selects the server default (10),
+	// values beyond vocab−1 are clamped.
+	K int `json:"k,omitempty"`
+	// Exact forces the exact scan even when the ANN index is loaded.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// NeighborsResult is one answered neighbour query. In batch responses a
+// failed item carries the error envelope fields instead of Neighbors.
+type NeighborsResult struct {
+	Word      string `json:"word,omitempty"`
+	Neighbors []Hit  `json:"neighbors,omitempty"`
+	*Error
+}
+
+// NeighborsResponse answers POST /v1/neighbors.
+type NeighborsResponse struct {
+	// Snapshot is the model snapshot id that answered the query.
+	Snapshot string `json:"snapshot"`
+	// Index is "hnsw" or "exact" — which scorer produced the ranking.
+	Index string `json:"index"`
+	NeighborsResult
+}
+
+// NeighborsBatchRequest answers many neighbour queries in one request.
+type NeighborsBatchRequest struct {
+	Queries []NeighborsRequest `json:"queries"`
+}
+
+// NeighborsBatchResponse answers POST /v1/neighbors/batch. Results are
+// positional: Results[i] answers Queries[i].
+type NeighborsBatchResponse struct {
+	Snapshot string            `json:"snapshot"`
+	Index    string            `json:"index"`
+	Results  []NeighborsResult `json:"results"`
+}
+
+// AnalogyRequest asks "A is to B as C is to ?" (3CosAdd over unit
+// vectors, the query words excluded from the answer set).
+type AnalogyRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	C string `json:"c"`
+	// K is the answer count: 0 selects 1.
+	K int `json:"k,omitempty"`
+	// Exact forces the exact scan.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// AnalogyResult is one answered analogy.
+type AnalogyResult struct {
+	Answers []Hit `json:"answers,omitempty"`
+	*Error
+}
+
+// AnalogyResponse answers POST /v1/analogy.
+type AnalogyResponse struct {
+	Snapshot string `json:"snapshot"`
+	Index    string `json:"index"`
+	AnalogyResult
+}
+
+// AnalogyBatchRequest answers many analogies in one request.
+type AnalogyBatchRequest struct {
+	Queries []AnalogyRequest `json:"queries"`
+}
+
+// AnalogyBatchResponse answers POST /v1/analogy/batch (positional).
+type AnalogyBatchResponse struct {
+	Snapshot string          `json:"snapshot"`
+	Index    string          `json:"index"`
+	Results  []AnalogyResult `json:"results"`
+}
+
+// LinkScoreRequest scores word pairs by embedding cosine — the serving
+// form of the eval package's link-prediction scorer.
+type LinkScoreRequest struct {
+	// Pairs are [u, v] word pairs.
+	Pairs [][2]string `json:"pairs"`
+}
+
+// LinkScore is one scored pair; a failed pair carries the error
+// envelope fields instead of Score.
+type LinkScore struct {
+	U     string   `json:"u,omitempty"`
+	V     string   `json:"v,omitempty"`
+	Score *float32 `json:"score,omitempty"`
+	*Error
+}
+
+// LinkScoreResponse answers POST /v1/linkscore (positional).
+type LinkScoreResponse struct {
+	Snapshot string      `json:"snapshot"`
+	Scores   []LinkScore `json:"scores"`
+}
+
+// CacheInfo reports result-cache occupancy and effectiveness.
+type CacheInfo struct {
+	Capacity int    `json:"capacity"`
+	Size     int    `json:"size"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// InfoResponse answers GET /v1/info.
+type InfoResponse struct {
+	Snapshot      string     `json:"snapshot"`
+	ModelPath     string     `json:"model_path,omitempty"`
+	Dim           int        `json:"dim"`
+	VocabSize     int        `json:"vocab_size"`
+	Index         string     `json:"index"`
+	EfSearch      int        `json:"ef_search,omitempty"`
+	LoadedAt      string     `json:"loaded_at"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Requests      uint64     `json:"requests"`
+	Cache         *CacheInfo `json:"cache,omitempty"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Snapshot string `json:"snapshot"`
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the LRU result cache. Keys embed the snapshot id (see
+// cacheKey in server.go), so entries computed against a superseded
+// snapshot can never be returned after a hot swap — they simply stop
+// being looked up and age out of the LRU. Values are fully marshalled
+// response bodies, making a hit a single map lookup plus a write.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache bounded to capacity entries.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached body for key, promoting it to most recent.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry
+// when full. The caller must not mutate body afterwards.
+func (c *resultCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Info snapshots occupancy and hit statistics.
+func (c *resultCache) Info() CacheInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheInfo{
+		Capacity: c.capacity,
+		Size:     c.order.Len(),
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newResultCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", []byte("A"))
+	if body, ok := c.Get("a"); !ok || string(body) != "A" {
+		t.Fatalf("Get(a) = %q %v", body, ok)
+	}
+	c.Put("a", []byte("A2"))
+	if body, _ := c.Get("a"); string(body) != "A2" {
+		t.Fatalf("update not visible: %q", body)
+	}
+	info := c.Info()
+	if info.Size != 1 || info.Hits != 2 || info.Misses != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a") // promote a → b is now LRU
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c (just inserted) was evicted")
+	}
+	if got := c.Info().Size; got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+}
+
+// TestCacheConcurrent exercises the mutex under -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%64)
+				if body, ok := c.Get(key); ok && len(body) == 0 {
+					t.Errorf("empty cached body for %s", key)
+					return
+				}
+				c.Put(key, []byte(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if size := c.Info().Size; size > 32 {
+		t.Fatalf("cache grew past capacity: %d", size)
+	}
+}
+
+func TestCacheKeySeparatorUnambiguous(t *testing.T) {
+	// "ab"+"c" and "a"+"bc" must produce different keys.
+	if cacheKey("ab", "c") == cacheKey("a", "bc") {
+		t.Fatal("cache key separator is ambiguous")
+	}
+}

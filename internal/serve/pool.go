@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+
+	"graphword2vec/internal/index"
+)
+
+// Scratch is one scorer worker's reusable state: the query/target
+// vector, the candidate buffer, and the HNSW search scratch. Handlers
+// never allocate these per request — all candidate scoring runs inside
+// a pool worker, on that worker's Scratch.
+type Scratch struct {
+	target   []float32
+	cands    []index.Candidate
+	searcher *index.Searcher
+}
+
+// targetFor returns the scratch target buffer sized to dim.
+func (sc *Scratch) targetFor(dim int) []float32 {
+	if cap(sc.target) < dim {
+		sc.target = make([]float32, dim)
+	}
+	return sc.target[:dim]
+}
+
+// searcherFor returns HNSW search scratch fitting h, reallocating only
+// after a hot swap changed the index size.
+func (sc *Scratch) searcherFor(h *index.HNSW) *index.Searcher {
+	if sc.searcher == nil || !sc.searcher.Fits(h) {
+		sc.searcher = index.NewSearcher(h)
+	}
+	return sc.searcher
+}
+
+// ScorerPool funnels all candidate scoring through a fixed set of
+// worker goroutines. HTTP handler goroutines are cheap and unbounded;
+// the dot-product scans they trigger are not. Routing every scoring
+// task — single queries and batch items alike — through one bounded
+// pool caps scoring concurrency at the worker count (so p99 latency
+// degrades by queueing, not by thrashing GOMAXPROCS), and gives each
+// worker persistent scratch so the steady-state query path does not
+// allocate.
+type ScorerPool struct {
+	jobs    chan poolJob
+	wg      sync.WaitGroup
+	workers int
+}
+
+type poolJob struct {
+	run  func(*Scratch)
+	done *sync.WaitGroup
+}
+
+// NewScorerPool starts workers goroutines (<= 0 selects GOMAXPROCS).
+func NewScorerPool(workers int) *ScorerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ScorerPool{
+		jobs:    make(chan poolJob, 4*workers),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			sc := &Scratch{}
+			for job := range p.jobs {
+				job.run(sc)
+				job.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *ScorerPool) Workers() int { return p.workers }
+
+// Do runs fn on a pool worker and waits for it.
+func (p *ScorerPool) Do(fn func(*Scratch)) {
+	var done sync.WaitGroup
+	done.Add(1)
+	p.jobs <- poolJob{run: fn, done: &done}
+	done.Wait()
+}
+
+// DoN runs fn(0..n-1), each call as one pool job, and waits for all of
+// them — the fan-out step of the batch endpoints.
+func (p *ScorerPool) DoN(n int, fn func(i int, sc *Scratch)) {
+	var done sync.WaitGroup
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.jobs <- poolJob{run: func(sc *Scratch) { fn(i, sc) }, done: &done}
+	}
+	done.Wait()
+}
+
+// Close drains the pool. Pending jobs finish; Do/DoN must not be
+// called after Close.
+func (p *ScorerPool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDo(t *testing.T) {
+	p := NewScorerPool(2)
+	defer p.Close()
+	ran := false
+	p.Do(func(sc *Scratch) {
+		if sc == nil {
+			t.Error("nil scratch")
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("Do returned before the job ran")
+	}
+}
+
+func TestPoolDoN(t *testing.T) {
+	p := NewScorerPool(3)
+	defer p.Close()
+	const n = 100
+	var seen [n]atomic.Int32
+	p.DoN(n, func(i int, sc *Scratch) { seen[i].Add(1) })
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewScorerPool(0)
+	defer p.Close()
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers = %d, want GOMAXPROCS %d", p.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	sc := &Scratch{}
+	a := sc.targetFor(16)
+	b := sc.targetFor(8)
+	if &a[0] != &b[0] {
+		t.Fatal("smaller target reallocated")
+	}
+	c := sc.targetFor(32)
+	if len(c) != 32 {
+		t.Fatalf("len = %d", len(c))
+	}
+}
+
+// TestPoolBoundsConcurrency: at most `workers` jobs run at once even
+// when many more are queued.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewScorerPool(workers)
+	defer p.Close()
+	var cur, peak atomic.Int32
+	p.DoN(64, func(i int, sc *Scratch) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		for spin := 0; spin < 1000; spin++ { //nolint:revive // busy-wait widens the overlap window
+			_ = spin
+		}
+		cur.Add(-1)
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool size %d", got, workers)
+	}
+}

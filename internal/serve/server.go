@@ -1,0 +1,503 @@
+// Package serve is the embedding query service behind cmd/gw2v-serve:
+// a versioned HTTP/JSON API (API.md) over a hot-reloadable model store.
+// Queries are answered from a read-only index.Normalized (exact scan)
+// or index.HNSW (approximate, exact re-rank), all candidate scoring is
+// funnelled through one bounded scorer goroutine pool, and single-query
+// results are cached in an LRU keyed on (snapshot id, query) so a hot
+// swap can never serve stale rankings. See DESIGN.md §9 for the
+// architecture and the snapshot-swap safety argument.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"graphword2vec/internal/index"
+	"graphword2vec/internal/vecmath"
+)
+
+// Config tunes the server. The zero value selects every default.
+type Config struct {
+	// DefaultK is the neighbour count when a request leaves k at 0
+	// (default 10).
+	DefaultK int
+	// MaxBatch bounds Queries/Pairs per batch request (default 256).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// CacheEntries sizes the LRU result cache; 0 selects 4096 and
+	// negative disables caching.
+	CacheEntries int
+	// Scorers sizes the scorer pool (default GOMAXPROCS).
+	Scorers int
+	// EfSearch overrides the ANN beam width (0 = index default).
+	EfSearch int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.DefaultK == 0 {
+		c.DefaultK = 10
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// Server answers the /v1 API over a Store. It implements http.Handler;
+// Close releases the scorer pool (the store is closed by its owner).
+type Server struct {
+	store    *Store
+	cfg      Config
+	pool     *ScorerPool
+	cache    *resultCache // nil when disabled
+	routes   map[string]route
+	start    time.Time
+	requests atomic.Uint64
+}
+
+type route struct {
+	method string
+	handle func(w http.ResponseWriter, r *http.Request)
+}
+
+// New builds a Server over store.
+func New(store *Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		pool:  NewScorerPool(cfg.Scorers),
+		start: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	s.routes = map[string]route{
+		"/healthz":            {http.MethodGet, s.handleHealthz},
+		"/v1/info":            {http.MethodGet, s.handleInfo},
+		"/v1/neighbors":       {http.MethodPost, s.handleNeighbors},
+		"/v1/neighbors/batch": {http.MethodPost, s.handleNeighborsBatch},
+		"/v1/analogy":         {http.MethodPost, s.handleAnalogy},
+		"/v1/analogy/batch":   {http.MethodPost, s.handleAnalogyBatch},
+		"/v1/linkscore":       {http.MethodPost, s.handleLinkScore},
+	}
+	return s
+}
+
+// Close releases the scorer pool. In-flight requests must have
+// drained (http.Server.Shutdown does that).
+func (s *Server) Close() { s.pool.Close() }
+
+// ServeHTTP routes a request; unknown paths and wrong methods get the
+// uniform error envelope.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	rt, ok := s.routes[r.URL.Path]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint %q; see API.md", r.URL.Path))
+		return
+	}
+	if r.Method != rt.method {
+		w.Header().Set("Allow", rt.method)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("%s requires %s, got %s", r.URL.Path, rt.method, r.Method))
+		return
+	}
+	rt.handle(w, r)
+}
+
+// writeJSON marshals v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeBody(w, status, append(body, '\n'))
+}
+
+// writeBody writes a pre-marshalled JSON body.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError emits the error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	body, _ := json.Marshal(Error{Code: code, Message: message})
+	writeBody(w, status, append(body, '\n'))
+}
+
+// decode reads a bounded JSON body into dst. Unknown fields are
+// ignored (API.md §6: additive request evolution).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// snapshot returns the live snapshot or writes 503.
+func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
+	snap := s.store.Current()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "no model snapshot loaded")
+	}
+	return snap
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Snapshot: snap.ID})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	info := InfoResponse{
+		Snapshot:      snap.ID,
+		ModelPath:     snap.ModelPath,
+		Dim:           snap.Model.Dim,
+		VocabSize:     snap.Vocab.Size(),
+		Index:         snap.IndexName(),
+		LoadedAt:      snap.LoadedAt.UTC().Format(time.RFC3339),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+	}
+	if snap.ANN != nil {
+		info.EfSearch = s.efSearch(snap)
+	}
+	if s.cache != nil {
+		ci := s.cache.Info()
+		info.Cache = &ci
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// efSearch resolves the effective ANN beam width.
+func (s *Server) efSearch(snap *Snapshot) int {
+	if s.cfg.EfSearch > 0 {
+		return s.cfg.EfSearch
+	}
+	return snap.ANN.Config().EfSearch
+}
+
+// resolveK validates and clamps a requested k against the snapshot.
+func (s *Server) resolveK(snap *Snapshot, k, def int) (int, *Error) {
+	if k < 0 {
+		return 0, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("k must be non-negative, got %d", k)}
+	}
+	if k == 0 {
+		k = def
+	}
+	if max := snap.Vocab.Size() - 1; k > max {
+		k = max // clamp: asking for more neighbours than exist is not an error
+	}
+	return k, nil
+}
+
+// useExact reports whether the query should take the exact scan.
+func useExact(snap *Snapshot, exact bool) bool { return exact || snap.ANN == nil }
+
+// indexName names the scorer a query used.
+func indexName(snap *Snapshot, exact bool) string {
+	if useExact(snap, exact) {
+		return "exact"
+	}
+	return "hnsw"
+}
+
+// neighborsOne answers one neighbour query on a worker's scratch.
+func (s *Server) neighborsOne(snap *Snapshot, sc *Scratch, q NeighborsRequest) NeighborsResult {
+	if q.Word == "" {
+		return NeighborsResult{Error: &Error{Code: CodeBadRequest, Message: "word is required"}}
+	}
+	id := snap.Vocab.ID(q.Word)
+	if id < 0 {
+		return NeighborsResult{Error: &Error{Code: CodeNotFound, Message: fmt.Sprintf("%q not in vocabulary", q.Word)}}
+	}
+	k, apiErr := s.resolveK(snap, q.K, s.cfg.DefaultK)
+	if apiErr != nil {
+		return NeighborsResult{Error: apiErr}
+	}
+	target := sc.targetFor(snap.Norm.Dim())
+	snap.Norm.QueryInto(target, id)
+	if useExact(snap, q.Exact) {
+		sc.cands = snap.Norm.TopK(sc.cands, target, k, id)
+	} else {
+		sc.cands = snap.ANN.SearchWith(sc.searcherFor(snap.ANN), sc.cands, target, k, s.efSearch(snap), []int32{id})
+	}
+	return NeighborsResult{Word: q.Word, Neighbors: hits(snap, sc.cands)}
+}
+
+// analogyOne answers one analogy query on a worker's scratch.
+func (s *Server) analogyOne(snap *Snapshot, sc *Scratch, q AnalogyRequest) AnalogyResult {
+	words := [3]string{q.A, q.B, q.C}
+	var ids [3]int32
+	for i, wd := range words {
+		if wd == "" {
+			return AnalogyResult{Error: &Error{Code: CodeBadRequest, Message: "a, b and c are required"}}
+		}
+		id := snap.Vocab.ID(wd)
+		if id < 0 {
+			return AnalogyResult{Error: &Error{Code: CodeNotFound, Message: fmt.Sprintf("%q not in vocabulary", wd)}}
+		}
+		ids[i] = id
+	}
+	k, apiErr := s.resolveK(snap, q.K, 1)
+	if apiErr != nil {
+		return AnalogyResult{Error: apiErr}
+	}
+	target := sc.targetFor(snap.Norm.Dim())
+	snap.Norm.AnalogyInto(target, ids[0], ids[1], ids[2])
+	excl := []int32{ids[0], ids[1], ids[2]}
+	if useExact(snap, q.Exact) {
+		sc.cands = snap.Norm.TopK(sc.cands, target, k, excl...)
+	} else {
+		sc.cands = snap.ANN.SearchWith(sc.searcherFor(snap.ANN), sc.cands, target, k, s.efSearch(snap), excl)
+	}
+	return AnalogyResult{Answers: hits(snap, sc.cands)}
+}
+
+// hits maps candidates to wire hits.
+func hits(snap *Snapshot, cands []index.Candidate) []Hit {
+	out := make([]Hit, len(cands))
+	for i, c := range cands {
+		out[i] = Hit{Word: snap.Vocab.Text(c.ID), Score: c.Score}
+	}
+	return out
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req NeighborsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	key := cacheKey(snap.ID, "nb", req.Word, strconv.Itoa(req.K), strconv.FormatBool(req.Exact))
+	if body, ok := s.cacheGet(key); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	var res NeighborsResult
+	s.pool.Do(func(sc *Scratch) { res = s.neighborsOne(snap, sc, req) })
+	if res.Error != nil {
+		writeError(w, statusFor(res.Error.Code), res.Error.Code, res.Error.Message)
+		return
+	}
+	resp := NeighborsResponse{Snapshot: snap.ID, Index: indexName(snap, req.Exact), NeighborsResult: res}
+	s.respondCached(w, key, resp)
+}
+
+func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req NeighborsBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if apiErr := s.checkBatch(len(req.Queries)); apiErr != nil {
+		writeError(w, statusFor(apiErr.Code), apiErr.Code, apiErr.Message)
+		return
+	}
+	results := make([]NeighborsResult, len(req.Queries))
+	s.pool.DoN(len(req.Queries), func(i int, sc *Scratch) {
+		results[i] = s.neighborsOne(snap, sc, req.Queries[i])
+	})
+	writeJSON(w, http.StatusOK, NeighborsBatchResponse{
+		Snapshot: snap.ID,
+		Index:    snap.IndexName(),
+		Results:  results,
+	})
+}
+
+func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req AnalogyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	key := cacheKey(snap.ID, "an", req.A, req.B, req.C, strconv.Itoa(req.K), strconv.FormatBool(req.Exact))
+	if body, ok := s.cacheGet(key); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	var res AnalogyResult
+	s.pool.Do(func(sc *Scratch) { res = s.analogyOne(snap, sc, req) })
+	if res.Error != nil {
+		writeError(w, statusFor(res.Error.Code), res.Error.Code, res.Error.Message)
+		return
+	}
+	resp := AnalogyResponse{Snapshot: snap.ID, Index: indexName(snap, req.Exact), AnalogyResult: res}
+	s.respondCached(w, key, resp)
+}
+
+func (s *Server) handleAnalogyBatch(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req AnalogyBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if apiErr := s.checkBatch(len(req.Queries)); apiErr != nil {
+		writeError(w, statusFor(apiErr.Code), apiErr.Code, apiErr.Message)
+		return
+	}
+	results := make([]AnalogyResult, len(req.Queries))
+	s.pool.DoN(len(req.Queries), func(i int, sc *Scratch) {
+		results[i] = s.analogyOne(snap, sc, req.Queries[i])
+	})
+	writeJSON(w, http.StatusOK, AnalogyBatchResponse{
+		Snapshot: snap.ID,
+		Index:    snap.IndexName(),
+		Results:  results,
+	})
+}
+
+func (s *Server) handleLinkScore(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	var req LinkScoreRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if apiErr := s.checkBatch(len(req.Pairs)); apiErr != nil {
+		writeError(w, statusFor(apiErr.Code), apiErr.Code, apiErr.Message)
+		return
+	}
+	scores := make([]LinkScore, len(req.Pairs))
+	// One pool job for the whole request: each pair is a single dot
+	// product, far below per-job dispatch cost.
+	s.pool.Do(func(sc *Scratch) {
+		for i, p := range req.Pairs {
+			u, v := snap.Vocab.ID(p[0]), snap.Vocab.ID(p[1])
+			if u < 0 || v < 0 {
+				missing := p[0]
+				if u >= 0 {
+					missing = p[1]
+				}
+				scores[i] = LinkScore{Error: &Error{Code: CodeNotFound, Message: fmt.Sprintf("%q not in vocabulary", missing)}}
+				continue
+			}
+			score := dotRows(snap, u, v)
+			scores[i] = LinkScore{U: p[0], V: p[1], Score: &score}
+		}
+	})
+	writeJSON(w, http.StatusOK, LinkScoreResponse{Snapshot: snap.ID, Scores: scores})
+}
+
+// dotRows scores a pair by cosine: the dot of unit rows — the same
+// scorer eval.LinkAUC ranks with.
+func dotRows(snap *Snapshot, u, v int32) float32 {
+	return vecmath.Dot(snap.Norm.Row(int(u)), snap.Norm.Row(int(v)))
+}
+
+// checkBatch validates a batch length.
+func (s *Server) checkBatch(n int) *Error {
+	if n == 0 {
+		return &Error{Code: CodeBadRequest, Message: "empty batch"}
+	}
+	if n > s.cfg.MaxBatch {
+		return &Error{Code: CodeBatchTooLarge, Message: fmt.Sprintf("batch of %d exceeds limit %d", n, s.cfg.MaxBatch)}
+	}
+	return nil
+}
+
+// statusFor maps an error code to its HTTP status (API.md §2).
+func statusFor(code string) int {
+	switch code {
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeBatchTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// cacheKey joins key parts with an unambiguous separator. The snapshot
+// id leads: entries from a superseded snapshot can never answer a
+// query against the new one.
+func cacheKey(parts ...string) string {
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, p := range parts {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = append(b, p...)
+	}
+	return string(b)
+}
+
+// cacheGet looks up a cached response body.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.Get(key)
+}
+
+// respondCached writes resp and stores its body under key.
+func (s *Server) respondCached(w http.ResponseWriter, key string, resp interface{}) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	if s.cache != nil {
+		s.cache.Put(key, body)
+	}
+	writeBody(w, http.StatusOK, body)
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, false), Config{})
+	w := do(t, srv, http.MethodGet, "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.Code)
+	}
+	var h HealthResponse
+	decodeAs(t, w, &h)
+	if h.Status != "ok" || h.Snapshot != "test-snap" {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, true), Config{EfSearch: 48})
+	w := do(t, srv, http.MethodGet, "/v1/info", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %q)", w.Code, w.Body.String())
+	}
+	var info InfoResponse
+	decodeAs(t, w, &info)
+	if info.VocabSize != 50 || info.Dim != 8 || info.Index != "hnsw" || info.EfSearch != 48 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Cache == nil || info.Cache.Capacity != 4096 {
+		t.Fatalf("cache info = %+v", info.Cache)
+	}
+}
+
+// TestRequestErrors is the graded error matrix: every malformed input
+// maps to the documented (status, code) pair from API.md.
+func TestRequestErrors(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, false), Config{MaxBatch: 4, MaxBodyBytes: 512})
+	oversized := NeighborsBatchRequest{Queries: make([]NeighborsRequest, 5)}
+	for i := range oversized.Queries {
+		oversized.Queries[i] = NeighborsRequest{Word: "w000"}
+	}
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   interface{}
+		status int
+		code   string
+	}{
+		{"unknown path", http.MethodGet, "/v2/neighbors", nil, http.StatusNotFound, CodeNotFound},
+		{"wrong method", http.MethodGet, "/v1/neighbors", nil, http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"bad JSON", http.MethodPost, "/v1/neighbors", `{"word": `, http.StatusBadRequest, CodeBadRequest},
+		{"empty word", http.MethodPost, "/v1/neighbors", NeighborsRequest{}, http.StatusBadRequest, CodeBadRequest},
+		{"OOV word", http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "zebra"}, http.StatusNotFound, CodeNotFound},
+		{"negative k", http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w000", K: -1}, http.StatusBadRequest, CodeBadRequest},
+		{"oversized batch", http.MethodPost, "/v1/neighbors/batch", oversized, http.StatusRequestEntityTooLarge, CodeBatchTooLarge},
+		{"empty batch", http.MethodPost, "/v1/neighbors/batch", NeighborsBatchRequest{}, http.StatusBadRequest, CodeBadRequest},
+		{"oversized body", http.MethodPost, "/v1/neighbors", `{"word":"` + strings.Repeat("x", 600) + `"}`, http.StatusRequestEntityTooLarge, CodeBadRequest},
+		{"analogy missing word", http.MethodPost, "/v1/analogy", AnalogyRequest{A: "w000", B: "w001"}, http.StatusBadRequest, CodeBadRequest},
+		{"analogy OOV", http.MethodPost, "/v1/analogy", AnalogyRequest{A: "w000", B: "w001", C: "zebra"}, http.StatusNotFound, CodeNotFound},
+		{"linkscore empty", http.MethodPost, "/v1/linkscore", LinkScoreRequest{}, http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantError(t, do(t, srv, tc.method, tc.path, tc.body), tc.status, tc.code)
+		})
+	}
+}
+
+func TestNeighborsBasic(t *testing.T) {
+	snap := testSnapshot(t, 50, 8, false)
+	srv := testServer(t, snap, Config{})
+	w := do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w007", K: 5})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %q)", w.Code, w.Body.String())
+	}
+	var resp NeighborsResponse
+	decodeAs(t, w, &resp)
+	if resp.Snapshot != "test-snap" || resp.Index != "exact" || resp.Word != "w007" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Neighbors) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(resp.Neighbors))
+	}
+	for i, h := range resp.Neighbors {
+		if h.Word == "w007" {
+			t.Fatalf("query word returned as its own neighbour")
+		}
+		if i > 0 && h.Score > resp.Neighbors[i-1].Score {
+			t.Fatalf("neighbors not sorted by score desc: %+v", resp.Neighbors)
+		}
+	}
+}
+
+// TestNeighborsKSemantics: k=0 selects the default, k beyond vocab−1 is
+// clamped.
+func TestNeighborsKSemantics(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 30, 8, false), Config{DefaultK: 7})
+	var resp NeighborsResponse
+	decodeAs(t, do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w000"}), &resp)
+	if len(resp.Neighbors) != 7 {
+		t.Fatalf("default k: got %d neighbors, want 7", len(resp.Neighbors))
+	}
+	decodeAs(t, do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w000", K: 10000}), &resp)
+	if len(resp.Neighbors) != 29 {
+		t.Fatalf("clamped k: got %d neighbors, want 29 (vocab-1)", len(resp.Neighbors))
+	}
+}
+
+// TestExactHNSWParity: on a small vocabulary with a wide beam the ANN
+// path must return the identical ranking to the exact scan.
+func TestExactHNSWParity(t *testing.T) {
+	snap := testSnapshot(t, 200, 16, true)
+	srv := testServer(t, snap, Config{EfSearch: 200, CacheEntries: -1})
+	for _, word := range []string{"w000", "w042", "w199"} {
+		var exact, ann NeighborsResponse
+		decodeAs(t, do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: word, K: 10, Exact: true}), &exact)
+		decodeAs(t, do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: word, K: 10}), &ann)
+		if exact.Index != "exact" || ann.Index != "hnsw" {
+			t.Fatalf("index labels: exact=%q ann=%q", exact.Index, ann.Index)
+		}
+		if !reflect.DeepEqual(exact.Neighbors, ann.Neighbors) {
+			t.Fatalf("%s: ann ranking diverges from exact\nexact: %+v\nann:   %+v", word, exact.Neighbors, ann.Neighbors)
+		}
+	}
+}
+
+func TestNeighborsBatchPositional(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 60, 8, false), Config{})
+	req := NeighborsBatchRequest{Queries: []NeighborsRequest{
+		{Word: "w001", K: 3},
+		{Word: "zebra"},
+		{Word: "w002", K: 2},
+	}}
+	w := do(t, srv, http.MethodPost, "/v1/neighbors/batch", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %q)", w.Code, w.Body.String())
+	}
+	var resp NeighborsBatchResponse
+	decodeAs(t, w, &resp)
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Word != "w001" || len(resp.Results[0].Neighbors) != 3 {
+		t.Fatalf("result[0] = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Code != CodeNotFound {
+		t.Fatalf("result[1] should be not_found, got %+v", resp.Results[1])
+	}
+	if resp.Results[2].Word != "w002" || len(resp.Results[2].Neighbors) != 2 {
+		t.Fatalf("result[2] = %+v", resp.Results[2])
+	}
+}
+
+// TestBatchMatchesSingles: a batch answer must be element-wise identical
+// to the same queries issued one at a time.
+func TestBatchMatchesSingles(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 120, 12, true), Config{CacheEntries: -1})
+	var queries []NeighborsRequest
+	for i := 0; i < 24; i++ {
+		queries = append(queries, NeighborsRequest{Word: fmt.Sprintf("w%03d", i*5), K: 8})
+	}
+	var batch NeighborsBatchResponse
+	decodeAs(t, do(t, srv, http.MethodPost, "/v1/neighbors/batch", NeighborsBatchRequest{Queries: queries}), &batch)
+	for i, q := range queries {
+		var single NeighborsResponse
+		decodeAs(t, do(t, srv, http.MethodPost, "/v1/neighbors", q), &single)
+		if !reflect.DeepEqual(single.NeighborsResult, batch.Results[i]) {
+			t.Fatalf("query %d: batch result diverges from single\nsingle: %+v\nbatch:  %+v", i, single.NeighborsResult, batch.Results[i])
+		}
+	}
+}
+
+func TestAnalogy(t *testing.T) {
+	snap := testSnapshot(t, 100, 12, false)
+	srv := testServer(t, snap, Config{})
+	req := AnalogyRequest{A: "w001", B: "w002", C: "w003", K: 4}
+	w := do(t, srv, http.MethodPost, "/v1/analogy", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %q)", w.Code, w.Body.String())
+	}
+	var resp AnalogyResponse
+	decodeAs(t, w, &resp)
+	if len(resp.Answers) != 4 {
+		t.Fatalf("got %d answers, want 4", len(resp.Answers))
+	}
+	for _, h := range resp.Answers {
+		if h.Word == "w001" || h.Word == "w002" || h.Word == "w003" {
+			t.Fatalf("query word %q leaked into answers", h.Word)
+		}
+	}
+
+	// The served answer must agree with the index the eval path uses.
+	target := make([]float32, snap.Norm.Dim())
+	snap.Norm.AnalogyInto(target, 1, 2, 3)
+	want := snap.Norm.TopK(nil, target, 4, 1, 2, 3)
+	for i, c := range want {
+		if resp.Answers[i].Word != snap.Vocab.Text(c.ID) || resp.Answers[i].Score != c.Score {
+			t.Fatalf("answer %d = %+v, want id=%d score=%v", i, resp.Answers[i], c.ID, c.Score)
+		}
+	}
+}
+
+func TestAnalogyBatch(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 80, 8, false), Config{})
+	req := AnalogyBatchRequest{Queries: []AnalogyRequest{
+		{A: "w001", B: "w002", C: "w003"},
+		{A: "w001", B: "zebra", C: "w003"},
+	}}
+	var resp AnalogyBatchResponse
+	decodeAs(t, do(t, srv, http.MethodPost, "/v1/analogy/batch", req), &resp)
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if len(resp.Results[0].Answers) != 1 || resp.Results[0].Error != nil {
+		t.Fatalf("result[0] = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Code != CodeNotFound {
+		t.Fatalf("result[1] = %+v", resp.Results[1])
+	}
+}
+
+func TestLinkScore(t *testing.T) {
+	snap := testSnapshot(t, 40, 8, false)
+	srv := testServer(t, snap, Config{})
+	req := LinkScoreRequest{Pairs: [][2]string{{"w001", "w002"}, {"w001", "zebra"}, {"w003", "w003"}}}
+	var resp LinkScoreResponse
+	decodeAs(t, do(t, srv, http.MethodPost, "/v1/linkscore", req), &resp)
+	if len(resp.Scores) != 3 {
+		t.Fatalf("got %d scores", len(resp.Scores))
+	}
+	if resp.Scores[0].Score == nil {
+		t.Fatalf("scores[0] = %+v", resp.Scores[0])
+	}
+	want := dotRows(snap, 1, 2)
+	if *resp.Scores[0].Score != want {
+		t.Fatalf("score = %v, want %v", *resp.Scores[0].Score, want)
+	}
+	if resp.Scores[1].Error == nil || resp.Scores[1].Error.Code != CodeNotFound {
+		t.Fatalf("scores[1] = %+v", resp.Scores[1])
+	}
+	// Self-similarity of a unit vector is 1 (within float tolerance).
+	if resp.Scores[2].Score == nil || *resp.Scores[2].Score < 0.999 {
+		t.Fatalf("self score = %+v, want ~1", resp.Scores[2])
+	}
+}
+
+// TestCacheHitIdentical: the second identical query is a cache hit and
+// returns a byte-identical body.
+func TestCacheHitIdentical(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, false), Config{})
+	req := NeighborsRequest{Word: "w004", K: 6}
+	first := do(t, srv, http.MethodPost, "/v1/neighbors", req)
+	second := do(t, srv, http.MethodPost, "/v1/neighbors", req)
+	if first.Body.String() != second.Body.String() {
+		t.Fatalf("cache hit body diverges:\n%s\n%s", first.Body.String(), second.Body.String())
+	}
+	info := srv.cache.Info()
+	if info.Hits != 1 || info.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", info)
+	}
+}
+
+// TestCacheKeyedOnParams: changing k, exact or endpoint must miss.
+func TestCacheKeyedOnParams(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, true), Config{})
+	do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w004", K: 6})
+	do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w004", K: 7})
+	do(t, srv, http.MethodPost, "/v1/neighbors", NeighborsRequest{Word: "w004", K: 6, Exact: true})
+	info := srv.cache.Info()
+	if info.Hits != 0 || info.Misses != 3 {
+		t.Fatalf("cache stats = %+v, want 0 hits / 3 misses", info)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, false), Config{CacheEntries: -1})
+	if srv.cache != nil {
+		t.Fatalf("cache should be disabled")
+	}
+	req := NeighborsRequest{Word: "w004"}
+	a := do(t, srv, http.MethodPost, "/v1/neighbors", req)
+	b := do(t, srv, http.MethodPost, "/v1/neighbors", req)
+	if a.Code != http.StatusOK || a.Body.String() != b.Body.String() {
+		t.Fatalf("uncached responses diverge")
+	}
+}
+
+// TestUnknownRequestFieldsIgnored pins the compat policy: unknown
+// request fields must not be errors (API.md §6).
+func TestUnknownRequestFieldsIgnored(t *testing.T) {
+	srv := testServer(t, testSnapshot(t, 50, 8, false), Config{})
+	w := do(t, srv, http.MethodPost, "/v1/neighbors", `{"word":"w001","k":2,"future_field":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("unknown field rejected: %d %q", w.Code, w.Body.String())
+	}
+}

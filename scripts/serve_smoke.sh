@@ -1,0 +1,62 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the gw2v-serve daemon over a
+# real TCP socket: train a tiny model, start the server, assert /healthz
+# and one /v1/neighbors query answer 200 with plausible JSON, then shut
+# down cleanly. This is the only place the actual binary + listener path
+# runs in CI (the unit tests drive Server.ServeHTTP in-process), so it
+# catches flag wiring, sidecar loading and ListenAndServe regressions.
+# Run via `make serve-smoke`.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/gw2v-train" ./cmd/gw2v-train
+go build -o "$tmp/gw2v-serve" ./cmd/gw2v-serve
+
+# A tiny corpus is enough: the smoke test exercises the serving path,
+# not embedding quality.
+awk 'BEGIN{for(s=0;s<200;s++){for(w=0;w<20;w++)printf "w%d ",(s*7+w*3)%50; print ""}}' >"$tmp/corpus.txt"
+"$tmp/gw2v-train" -corpus "$tmp/corpus.txt" -model "$tmp/model.bin" \
+    -dim 16 -epochs 1 -min-count 1 >/dev/null
+
+port=${GW2V_SMOKE_PORT:-18417}
+"$tmp/gw2v-serve" -model "$tmp/model.bin" -listen "127.0.0.1:$port" -poll 0 &
+pid=$!
+
+# Wait for the listener (the index build is fast at this size).
+i=0
+until curl -sf "http://127.0.0.1:$port/healthz" >"$tmp/health.json" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+grep -q '"status":"ok"' "$tmp/health.json"
+
+code=$(curl -s -o "$tmp/neighbors.json" -w '%{http_code}' \
+    -X POST "http://127.0.0.1:$port/v1/neighbors" \
+    -d '{"word":"w0","k":3}')
+if [ "$code" != "200" ]; then
+    echo "serve-smoke: /v1/neighbors returned $code:" >&2
+    cat "$tmp/neighbors.json" >&2
+    exit 1
+fi
+grep -q '"neighbors":\[' "$tmp/neighbors.json"
+grep -q '"snapshot":"' "$tmp/neighbors.json"
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "serve-smoke: ok"
