@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke cross-arm64 vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke cross-arm64 vet fmt-check fmt docs-check
 
 all: fmt-check vet docs-check build test-short test-sync-race test-portable cross-arm64
 
@@ -51,6 +51,13 @@ serve-smoke:
 # end-to-end (mirrored as a CI step, like the sync-latency smoke).
 serve-latency-smoke:
 	$(GO) test -run 'TestServeLatencySmoke' -count=1 ./internal/harness/
+
+# Fault-tolerance recovery lane: the priority-1 diagonal of the
+# fault-grid kill matrix (every kill point, sync mode, transport and
+# workload at least once) plus the real-process SIGKILL + resume test,
+# under the race detector (mirrored as a CI step; DESIGN.md §10).
+fault-grid-smoke:
+	$(GO) test -race -count=1 -run 'TestFaultGridSmoke|TestMeshRedialAfterPeerRestart' ./internal/harness/
 
 # arm64 must compile (simd_stub path).
 cross-arm64:

@@ -30,6 +30,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"math"
@@ -82,6 +83,12 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed (identical on every rank)")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers during bootstrap")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
+
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for round-boundary checkpoints (empty = checkpointing off)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint cadence in sync rounds (0 = once per epoch)")
+		resumeFlag  = flag.Bool("resume", false, "resume from the newest cluster-wide checkpoint in -checkpoint-dir (fresh start if none)")
+		maxRestarts = flag.Int("max-restarts", 0, "after losing a peer, re-dial the mesh and resume up to this many times (0 = exit on peer loss)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "declare a silent peer dead after this long; heartbeats are sent every third of it (0 = no failure detection)")
 	)
 	flag.Parse()
 	if *peersCSV == "" {
@@ -192,32 +199,78 @@ func main() {
 		cfg.SyncRounds = *syncRounds
 	}
 
-	tr, err := gluon.DialMesh(gluon.MeshConfig{
-		Rank:     *rank,
-		Peers:    peers,
-		Listen:   *listenAddr,
-		Checksum: cfg.Checksum(voc.Size(), src.Len(), *dim, extra...),
-		Wire:     cfg.Wire,
-		Timeout:  *dialTimeout,
-	})
-	if err != nil {
-		log.Fatal(err)
+	if *resumeFlag && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
 	}
-	defer tr.Close()
-	if !*quiet {
-		log.Printf("rank %d: mesh of %d hosts connected", *rank, hosts)
+	if *maxRestarts > 0 && *ckptDir == "" {
+		log.Fatal("-max-restarts requires -checkpoint-dir (recovery resumes from checkpoints)")
 	}
-
+	sum := cfg.Checksum(voc.Size(), src.Len(), *dim, extra...)
+	var tcpOpts gluon.TCPOptions
+	if *peerTimeout > 0 {
+		tcpOpts = gluon.TCPOptions{
+			HeartbeatInterval: *peerTimeout / 3,
+			ReadTimeout:       *peerTimeout,
+			WriteTimeout:      *peerTimeout,
+			PeerLossGrace:     *peerTimeout,
+		}
+	}
 	var onEpoch func(int, float32, sgns.Stats, gluon.Stats)
 	if !*quiet {
 		onEpoch = func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats) {
 			log.Printf("rank %d epoch %d: alpha %.5f, %d pairs, %s sent", *rank, epoch+1, alpha, train.Pairs, cliutil.FormatBytes(comm.TotalBytes()))
 		}
 	}
+
+	// runOnce dials a fresh mesh and drives one full training attempt.
+	// Resume negotiation happens inside RunDistributedOpts, before the
+	// start barrier, so a re-formed mesh agrees on a common round first.
+	runOnce := func(resume bool) (*core.DistributedResult, error) {
+		tr, err := gluon.DialMesh(gluon.MeshConfig{
+			Rank:     *rank,
+			Peers:    peers,
+			Listen:   *listenAddr,
+			Checksum: sum,
+			Wire:     cfg.Wire,
+			Timeout:  *dialTimeout,
+			TCP:      tcpOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		if !*quiet {
+			log.Printf("rank %d: mesh of %d hosts connected", *rank, hosts)
+		}
+		opts := core.RunOptions{OnEpoch: onEpoch, Checksum: sum}
+		if *ckptDir != "" {
+			opts.Checkpoint = &core.CheckpointPolicy{Dir: *ckptDir, Every: *ckptEvery, Resume: resume}
+		}
+		return core.RunDistributedOpts(cfg, *rank, tr, voc, neg, src, *dim, opts)
+	}
+
 	start := time.Now()
-	res, err := core.RunDistributed(cfg, *rank, tr, voc, neg, src, *dim, onEpoch)
-	if err != nil {
-		log.Fatal(err)
+	resume := *resumeFlag
+	var res *core.DistributedResult
+	for attempt := 0; ; attempt++ {
+		res, err = runOnce(resume)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, gluon.ErrPeerLost) || attempt >= *maxRestarts {
+			log.Fatal(err)
+		}
+		// Elastic recovery: every survivor lands here, and the dead
+		// rank's supervisor is expected to relaunch it with the same
+		// flags. The re-dial window (-dial-timeout) absorbs the skew;
+		// the brief pause lets peers finish tearing down their old
+		// listeners before the mesh re-forms.
+		log.Printf("rank %d: %v — re-forming mesh and resuming (restart %d/%d)", *rank, err, attempt+1, *maxRestarts)
+		time.Sleep(500 * time.Millisecond)
+		resume = true
+	}
+	if res.ResumedFrom > 0 {
+		log.Printf("rank %d: resumed from checkpoint round %d", *rank, res.ResumedFrom)
 	}
 	log.Printf("rank %d: trained %d pairs in %s (%s sent)", *rank,
 		res.Engine.Train.Pairs, time.Since(start).Round(time.Millisecond), cliutil.FormatBytes(res.Engine.Comm.TotalBytes()))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"graphword2vec/internal/checkpoint"
 	"graphword2vec/internal/corpus"
 	"graphword2vec/internal/gluon"
 	"graphword2vec/internal/model"
@@ -57,6 +58,47 @@ type DistributedResult struct {
 	// Canonical is the gathered canonical model — non-nil only on
 	// rank 0, which assembles every owner's master range.
 	Canonical *model.Model
+	// ResumedFrom is the global round the cluster agreed to restart
+	// from: 0 for a fresh start (including Resume runs that found no
+	// usable snapshot).
+	ResumedFrom uint32
+}
+
+// CheckpointPolicy configures round-boundary checkpointing for a
+// distributed run (DESIGN.md §10).
+type CheckpointPolicy struct {
+	// Dir is the per-host checkpoint directory; each rank writes
+	// rank%04d.ckpt plus one rolled-back .prev generation there. Ranks
+	// on the same filesystem may share Dir.
+	Dir string
+	// Every is the checkpoint cadence in global rounds; <= 0 means
+	// once per epoch.
+	Every int
+	// Resume asks the cluster to restart from its newest commonly-held
+	// snapshot. Ranks negotiate before the start barrier: the chosen
+	// round is the highest one EVERY rank can restore, degrading to a
+	// fresh start (round 0) when no snapshot is shared, so a wiped disk
+	// never wedges the cluster.
+	Resume bool
+}
+
+// RunOptions carries the optional knobs of RunDistributedOpts.
+type RunOptions struct {
+	// Checkpoint, when non-nil, enables checkpointing (and, with
+	// Resume set, crash recovery) under the given policy.
+	Checkpoint *CheckpointPolicy
+	// Checksum overrides the configuration fingerprint stamped into
+	// snapshots; 0 means derive cfg.Checksum(voc, src, dim) locally.
+	// Pass the same extended checksum used for the mesh handshake so
+	// snapshots and the mesh agree on what "the same run" means.
+	Checksum uint64
+	// OnEpoch, if non-nil, receives this host's per-epoch counters.
+	OnEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)
+	// Sink, when non-nil, replaces the policy's on-disk store as the
+	// snapshot destination — the fault-injection seam (the harness
+	// substitutes torn-write sinks). Resume still reads snapshots from
+	// Checkpoint.Dir.
+	Sink CheckpointSink
 }
 
 // RunDistributed drives one host of a real multi-host cluster over the
@@ -70,14 +112,69 @@ type DistributedResult struct {
 // host's per-epoch counters.
 func RunDistributed(cfg Config, rank int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int,
 	onEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)) (*DistributedResult, error) {
+	return RunDistributedOpts(cfg, rank, tr, voc, neg, src, dim, RunOptions{OnEpoch: onEpoch})
+}
+
+// RunDistributedOpts is RunDistributed with checkpoint/resume support.
+// With a Checkpoint policy the engine snapshots at the configured round
+// cadence; with Resume also set the cluster first negotiates the newest
+// round every rank can restore (gluon.HostSync.NegotiateResume, wired
+// before the start barrier on the fresh mesh) and rewinds each engine
+// there, producing a final model bit-identical to an uninterrupted run.
+func RunDistributedOpts(cfg Config, rank int, tr gluon.Transport, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int,
+	opts RunOptions) (*DistributedResult, error) {
 	eng, err := NewEngine(cfg, rank, tr, voc, neg, src, dim)
 	if err != nil {
 		return nil, err
 	}
+	var resumedFrom uint32
+	if pol := opts.Checkpoint; pol != nil {
+		sum := opts.Checksum
+		if sum == 0 {
+			sum = cfg.Checksum(voc.Size(), src.Len(), dim)
+		}
+		store := checkpoint.NewStore(pol.Dir, rank)
+		var sink CheckpointSink = store
+		if opts.Sink != nil {
+			sink = opts.Sink
+		}
+		eng.EnableCheckpoints(sink, pol.Every, sum)
+		if pol.Resume {
+			// Damaged or mismatched snapshots are skipped here, not
+			// fatal: Snapshots already fell back to older generations,
+			// and offering fewer rounds only lowers the common round.
+			snaps, _ := store.Snapshots(sum)
+			rounds := make([]uint32, 0, len(snaps))
+			for _, s := range snaps {
+				rounds = append(rounds, s.NextRound)
+			}
+			chosen, err := eng.sync.NegotiateResume(rounds)
+			if err != nil {
+				return nil, fmt.Errorf("core: host %d resume negotiation: %w", rank, err)
+			}
+			if chosen > 0 {
+				restored := false
+				for _, s := range snaps {
+					if s.NextRound == chosen {
+						if err := eng.Restore(s); err != nil {
+							return nil, fmt.Errorf("core: host %d restore round %d: %w", rank, chosen, err)
+						}
+						restored = true
+						break
+					}
+				}
+				if !restored {
+					// Unreachable if NegotiateResume honoured our offer.
+					return nil, fmt.Errorf("core: host %d: agreed round %d not among local snapshots", rank, chosen)
+				}
+				resumedFrom = chosen
+			}
+		}
+	}
 	if err := eng.sync.Barrier(barrierStart); err != nil {
 		return nil, fmt.Errorf("core: host %d start barrier: %w", rank, err)
 	}
-	res, err := eng.Run(onEpoch)
+	res, err := eng.Run(opts.OnEpoch)
 	if err != nil {
 		return nil, err
 	}
@@ -91,5 +188,5 @@ func RunDistributed(cfg Config, rank int, tr gluon.Transport, voc *vocab.Vocabul
 	// Fold the gather and barrier traffic into the reported totals; the
 	// engine's own accounting stops at the last training epoch.
 	res.Comm = eng.sync.Stats()
-	return &DistributedResult{Engine: res, Canonical: canonical}, nil
+	return &DistributedResult{Engine: res, Canonical: canonical, ResumedFrom: resumedFrom}, nil
 }

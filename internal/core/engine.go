@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"graphword2vec/internal/bitset"
+	"graphword2vec/internal/checkpoint"
 	"graphword2vec/internal/combine"
 	"graphword2vec/internal/corpus"
 	"graphword2vec/internal/gluon"
@@ -72,6 +73,120 @@ type Engine struct {
 	syncSeconds    float64
 	stats          sgns.Stats
 	prevComm       gluon.Stats
+
+	// Checkpoint/resume state (DESIGN.md §10): ckpt receives a
+	// snapshot every ckptEvery global rounds; startRound is the first
+	// round a restored engine still has to execute; totalStats carries
+	// the counters of epochs that finished before the snapshot, so
+	// resumed runs report full-run totals.
+	ckpt       CheckpointSink
+	ckptEvery  int
+	ckptSum    uint64
+	startRound uint32
+	totalStats sgns.Stats
+}
+
+// CheckpointSink receives consistent round-boundary snapshots. The
+// production sink is *checkpoint.Store; the fault-injection harness
+// substitutes torn-write implementations.
+type CheckpointSink interface {
+	Save(*checkpoint.Snapshot) error
+}
+
+// EnableCheckpoints arms round-boundary snapshotting: after every
+// `every` completed global rounds (and only at those BSP boundaries —
+// see DESIGN.md §10 for why no other cut is consistent) the engine
+// hands sink a Snapshot of its full resumable state. every <= 0
+// defaults to one checkpoint per epoch (cfg.SyncRounds). configSum is
+// the cluster's Config.Checksum, stamped into every snapshot so a
+// restart with different hyperparameters refuses to resume.
+func (e *Engine) EnableCheckpoints(sink CheckpointSink, every int, configSum uint64) {
+	if every <= 0 {
+		every = e.cfg.SyncRounds
+	}
+	e.ckpt = sink
+	e.ckptEvery = every
+	e.ckptSum = configSum
+}
+
+// Snapshot captures the engine's resumable state as of the boundary
+// before global round nextRound. The returned snapshot ALIASES the
+// live model buffers — it is only valid until the next compute round,
+// long enough for a synchronous sink.Save to serialise it.
+//
+// Both replicas are captured: under PullModel the local working copy
+// holds pulled mirrors that differ from the base replica, and the next
+// round's combine needs both (DESIGN.md §10).
+func (e *Engine) Snapshot(nextRound uint32) *checkpoint.Snapshot {
+	rng := make([][4]uint64, len(e.rands))
+	for i, r := range e.rands {
+		rng[i] = r.State()
+	}
+	return &checkpoint.Snapshot{
+		Checksum:   e.ckptSum,
+		Rank:       e.host,
+		Hosts:      e.cfg.Hosts,
+		NextRound:  nextRound,
+		Local:      e.local,
+		Base:       e.base,
+		RNG:        rng,
+		EpochStats: e.stats,
+		TotalStats: e.totalStats,
+	}
+}
+
+// Restore rewinds a freshly constructed engine to a snapshot taken by
+// Snapshot on a compatible run. Run will then skip the rounds the
+// snapshot already covers and continue bit-identically with an
+// uninterrupted run. The snapshot's buffers are copied, not retained.
+func (e *Engine) Restore(s *checkpoint.Snapshot) error {
+	if s == nil || s.Local == nil || s.Base == nil {
+		return errors.New("core: nil snapshot")
+	}
+	if s.Rank != e.host || s.Hosts != e.cfg.Hosts {
+		return fmt.Errorf("core: snapshot is rank %d/%d, engine is rank %d/%d", s.Rank, s.Hosts, e.host, e.cfg.Hosts)
+	}
+	if s.Local.Emb.Rows != e.local.Emb.Rows || s.Local.Dim != e.local.Dim ||
+		s.Base.Emb.Rows != e.base.Emb.Rows || s.Base.Dim != e.base.Dim {
+		return fmt.Errorf("core: snapshot shape %dx%d does not match model %dx%d",
+			s.Local.Emb.Rows, s.Local.Dim, e.local.Emb.Rows, e.local.Dim)
+	}
+	if len(s.RNG) != len(e.rands) {
+		return fmt.Errorf("core: snapshot has %d RNG states, engine has %d threads", len(s.RNG), len(e.rands))
+	}
+	total := uint32(e.cfg.Epochs * e.cfg.SyncRounds)
+	if s.NextRound > total {
+		return fmt.Errorf("core: snapshot round %d beyond run of %d rounds", s.NextRound, total)
+	}
+	e.local.CopyFrom(s.Local)
+	e.base.CopyFrom(s.Base)
+	for i := range e.rands {
+		e.rands[i].SetState(s.RNG[i])
+	}
+	e.stats = s.EpochStats
+	e.totalStats = s.TotalStats
+	e.startRound = s.NextRound
+	// A snapshot cut exactly at an epoch boundary was taken after that
+	// epoch's last sync but before finishEpoch ran: fold the pending
+	// per-epoch counters into the run totals now, since Run will skip
+	// the whole epoch (and with it the finishEpoch that would have).
+	if s.NextRound > 0 && s.NextRound%uint32(e.cfg.SyncRounds) == 0 {
+		e.totalStats.Add(e.stats)
+		e.stats = sgns.Stats{}
+	}
+	return nil
+}
+
+// maybeCheckpoint snapshots to the configured sink when the boundary
+// before global round next is a checkpoint boundary.
+func (e *Engine) maybeCheckpoint(next uint32) error {
+	if e.ckpt == nil || next%uint32(e.ckptEvery) != 0 {
+		return nil
+	}
+	if err := e.ckpt.Save(e.Snapshot(next)); err != nil {
+		return fmt.Errorf("core: checkpoint at round %d: %w", next, err)
+	}
+	return nil
 }
 
 // pprof label sets tagging the engine's phases, so -cpuprofile output
@@ -226,12 +341,27 @@ type EngineResult struct {
 // non-nil, receives this host's per-epoch counters after each epoch.
 func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats)) (*EngineResult, error) {
 	res := &EngineResult{Host: e.host}
+	// A restored engine reports full-run counters: totalStats carries
+	// the epochs the snapshot already covered.
+	res.Train = e.totalStats
 	ctx := context.Background()
 	globalRound := uint32(0)
 	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		if endRound := globalRound + uint32(e.cfg.SyncRounds); endRound <= e.startRound {
+			// The snapshot covers this whole epoch; its counters are
+			// already folded into totalStats (Restore).
+			globalRound = endRound
+			continue
+		}
 		alpha := e.cfg.alphaForEpoch(epoch)
 		var epochCompute, epochSync float64
 		for round := 0; round < e.cfg.SyncRounds; round++ {
+			if globalRound < e.startRound {
+				// Covered by the snapshot: its effects on the model,
+				// RNG streams and per-epoch stats were restored.
+				globalRound++
+				continue
+			}
 			pprof.Do(ctx, computeLabels, func(context.Context) {
 				e.computeRound(epoch, round, alpha)
 			})
@@ -250,6 +380,9 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 			}
 			epochSync += e.syncSeconds
 			globalRound++
+			if err := e.maybeCheckpoint(globalRound); err != nil {
+				return nil, err
+			}
 		}
 		train, comm := e.finishEpoch(epoch)
 		res.Train.Add(train)
@@ -340,6 +473,7 @@ func (e *Engine) syncRound(round uint32) error {
 func (e *Engine) finishEpoch(epoch int) (train sgns.Stats, comm gluon.Stats) {
 	train = e.stats
 	e.stats = sgns.Stats{}
+	e.totalStats.Add(train)
 	cur := e.sync.Stats()
 	comm = cur.Sub(e.prevComm)
 	e.prevComm = cur

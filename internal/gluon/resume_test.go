@@ -1,0 +1,71 @@
+package gluon
+
+import (
+	"sync"
+	"testing"
+)
+
+// negotiate runs NegotiateResume concurrently on every host of a fresh
+// cluster and returns the per-host decisions.
+func negotiate(t *testing.T, hosts int, candidates [][]uint32) []uint32 {
+	t.Helper()
+	c := newCluster(t, hosts, 16, 2, RepModelOpt, "SUM")
+	got := make([]uint32, hosts)
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			got[h], errs[h] = c.syncs[h].NegotiateResume(candidates[h])
+		}(h)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			t.Fatalf("host %d: %v", h, err)
+		}
+	}
+	return got
+}
+
+// TestNegotiateResume: the cluster must settle on the highest round
+// every rank can restore, degrading to 0 (fresh start) when the
+// candidate sets share nothing else.
+func TestNegotiateResume(t *testing.T) {
+	cases := []struct {
+		name       string
+		candidates [][]uint32
+		want       uint32
+	}{
+		// All ranks checkpointed the same rounds: resume the newest.
+		{"aligned", [][]uint32{{6, 3}, {6, 3}, {6, 3}}, 6},
+		// One rank died before its round-6 save: fall back to the
+		// newest common generation.
+		{"straggler", [][]uint32{{6, 3}, {3}, {6, 3}}, 3},
+		// A rank with a wiped disk forces a fresh start.
+		{"wiped-rank", [][]uint32{{6, 3}, nil, {6, 3}}, 0},
+		// Disjoint generations share only the implicit round 0.
+		{"disjoint", [][]uint32{{8}, {4}, {2}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := negotiate(t, len(tc.candidates), tc.candidates)
+			for h, g := range got {
+				if g != tc.want {
+					t.Fatalf("host %d agreed on round %d, want %d (all: %v)", h, g, tc.want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestNegotiateResumeSingleHost: a one-host cluster needs no traffic
+// and just picks its own newest snapshot.
+func TestNegotiateResumeSingleHost(t *testing.T) {
+	c := newCluster(t, 1, 8, 2, RepModelOpt, "SUM")
+	round, err := c.syncs[0].NegotiateResume([]uint32{4, 2})
+	if err != nil || round != 4 {
+		t.Fatalf("NegotiateResume = (%d, %v), want (4, nil)", round, err)
+	}
+}

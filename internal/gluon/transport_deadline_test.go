@@ -1,0 +1,117 @@
+package gluon
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTCPDeadlineTable is the slow-peer vs hung-peer vs dead-peer
+// contract: a slow peer (sends late, or sends nothing but heartbeats)
+// must not trip failure detection, a hung peer (connection open,
+// silent past the read deadline) and a dead peer (connection dropped)
+// must both surface ErrPeerLost instead of hanging Recv forever.
+func TestTCPDeadlineTable(t *testing.T) {
+	payload := []byte("round-data")
+	cases := []struct {
+		name string
+		opts TCPOptions
+		// peer drives host 1's behaviour; host 0 blocks in Recv.
+		peer     func(tr *TCPTransport)
+		wantLost bool
+	}{
+		{
+			name: "slow-peer-within-deadline",
+			opts: TCPOptions{ReadTimeout: 2 * time.Second},
+			peer: func(tr *TCPTransport) {
+				time.Sleep(100 * time.Millisecond)
+				tr.Send(1, 0, payload)
+			},
+		},
+		{
+			// The peer is silent far past the read deadline, but its
+			// heartbeats keep the connection visibly alive — the long
+			// compute phase of a real run.
+			name: "slow-peer-kept-alive-by-heartbeats",
+			opts: TCPOptions{ReadTimeout: 250 * time.Millisecond, HeartbeatInterval: 50 * time.Millisecond},
+			peer: func(tr *TCPTransport) {
+				time.Sleep(700 * time.Millisecond)
+				tr.Send(1, 0, payload)
+			},
+		},
+		{
+			name:     "hung-peer-trips-read-deadline",
+			opts:     TCPOptions{ReadTimeout: 200 * time.Millisecond},
+			peer:     func(tr *TCPTransport) {}, // open connection, eternal silence
+			wantLost: true,
+		},
+		{
+			name:     "dead-peer-trips-grace",
+			opts:     TCPOptions{PeerLossGrace: 100 * time.Millisecond},
+			peer:     func(tr *TCPTransport) { tr.Close() },
+			wantLost: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trs, err := NewTCPClusterOpts(2, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(trs)
+			go tc.peer(trs[1])
+			type recv struct {
+				payload []byte
+				err     error
+			}
+			done := make(chan recv, 1)
+			go func() {
+				_, p, err := trs[0].Recv(0)
+				done <- recv{p, err}
+			}()
+			select {
+			case r := <-done:
+				if tc.wantLost {
+					if !errors.Is(r.err, ErrPeerLost) {
+						t.Fatalf("Recv = (%q, %v), want ErrPeerLost", r.payload, r.err)
+					}
+					return
+				}
+				if r.err != nil || string(r.payload) != string(payload) {
+					t.Fatalf("Recv = (%q, %v), want %q", r.payload, r.err, payload)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("Recv hung")
+			}
+		})
+	}
+}
+
+// TestTCPWriteDeadlineHungReader: a peer that stops draining its
+// socket eventually blocks senders on a full TCP window; the write
+// deadline must convert that into ErrPeerLost for everyone instead of
+// a permanent stall.
+func TestTCPWriteDeadlineHungReader(t *testing.T) {
+	trs, err := NewTCPClusterOpts(2, TCPOptions{WriteTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(trs)
+
+	// Host 1 never calls Recv: its read loop parks once the inbox
+	// fills, then the kernel buffers fill, then host 0's writes stall.
+	big := make([]byte, 1<<20)
+	var sendErr error
+	for i := 0; i < 256; i++ {
+		if sendErr = trs[0].Send(0, 1, big); sendErr != nil {
+			break
+		}
+	}
+	if !errors.Is(sendErr, ErrPeerLost) {
+		t.Fatalf("send to hung reader = %v, want ErrPeerLost", sendErr)
+	}
+	// The stall poisons the transport: peers blocked elsewhere see it too.
+	if _, _, err := trs[0].Recv(0); !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("Recv on poisoned transport = %v, want ErrPeerLost", err)
+	}
+}

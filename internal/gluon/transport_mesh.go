@@ -29,8 +29,12 @@ const (
 	// meshVersion is the wire protocol version. Version 2 introduced the
 	// payload codec layer (codec byte in vector frames, varint-delta
 	// indices, half suppression, optional fp16) and added the codec byte
-	// to this hello; see PROTOCOL.md §7 for the bump policy.
-	meshVersion = 2
+	// to this hello. Version 3 added the heartbeat and resume frame
+	// kinds for failure detection and checkpoint recovery (PROTOCOL.md
+	// §8); a v2 peer would misparse them, so the hello check is what
+	// keeps mixed-version meshes from forming. See PROTOCOL.md §7 for
+	// the bump policy.
+	meshVersion = 3
 	// meshHelloBytes is the encoded hello size.
 	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8 + 1
 	// meshDialRetry is the pause between connection attempts while a
@@ -61,6 +65,12 @@ type MeshConfig struct {
 	// peer (with retries while peers start up), and handshakes.
 	// Zero means 30 seconds.
 	Timeout time.Duration
+	// TCP configures failure detection (heartbeats, read/write
+	// deadlines, peer-loss grace) on the resulting transport. It is
+	// not part of the hello — every rank should still run the same
+	// settings, since a heartbeat-less rank looks dead to a rank with
+	// a read deadline.
+	TCP TCPOptions
 }
 
 // DialMesh bootstraps this rank's transport for a multi-process
@@ -84,6 +94,7 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 	deadline := time.Now().Add(timeout)
 
 	t := newTCPTransport(cfg.Rank, n)
+	t.opts = cfg.TCP
 	if n == 1 {
 		return t, nil
 	}

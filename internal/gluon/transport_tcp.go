@@ -2,12 +2,50 @@ package gluon
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
 )
+
+// ErrPeerLost reports that a cluster peer died or went silent past the
+// configured deadline. It wraps every failure the transport can
+// attribute to peer death (dropped connection past the grace period,
+// read-deadline expiry, write-deadline expiry), so callers distinguish
+// a recoverable peer crash — re-form the mesh and resume from the last
+// checkpoint — from a protocol violation. Match with errors.Is.
+var ErrPeerLost = errors.New("gluon: peer lost")
+
+// TCPOptions tunes failure detection on a TCPTransport. The zero value
+// preserves the historical behaviour: no deadlines, no heartbeats, the
+// default peer-loss grace.
+type TCPOptions struct {
+	// HeartbeatInterval, when positive, emits a header-only heartbeat
+	// frame on every connection at this interval so long compute
+	// phases produce traffic. Heartbeats are consumed by the receiving
+	// transport's read loop and never surface through Recv. Enable it
+	// on every rank together with ReadTimeout (a rank without
+	// heartbeats looks dead to a rank with a read deadline).
+	HeartbeatInterval time.Duration
+	// ReadTimeout, when positive, bounds the silence tolerated on each
+	// connection: if no frame (heartbeats included) arrives within it,
+	// the peer is declared lost and the transport poisoned with
+	// ErrPeerLost. This is what distinguishes a hung peer — process
+	// alive, connection open, making no progress — from a merely slow
+	// one.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each frame write. A hung
+	// peer that stops draining its socket eventually fills the TCP
+	// window and blocks senders forever; the deadline turns that into
+	// ErrPeerLost.
+	WriteTimeout time.Duration
+	// PeerLossGrace overrides how long an unexpectedly dropped
+	// connection may linger before the peer is declared dead
+	// (default 5s; see peerLossGrace).
+	PeerLossGrace time.Duration
+}
 
 // TCPTransport runs the synchronisation protocol over real TCP sockets,
 // in two configurations: NewTCPCluster wires all hosts inside one
@@ -38,6 +76,7 @@ type TCPTransport struct {
 	done     chan struct{}
 	closeMu  sync.Once
 	wg       sync.WaitGroup
+	opts     TCPOptions
 
 	failMu  sync.Mutex
 	failure error // first framing/protocol error, reported by Recv/Send
@@ -60,12 +99,19 @@ var peerLossGrace = 5 * time.Second
 // loopback listeners. It returns one transport per host. Closing any one
 // of them tears down shared connections; callers should close all.
 func NewTCPCluster(n int) ([]*TCPTransport, error) {
+	return NewTCPClusterOpts(n, TCPOptions{})
+}
+
+// NewTCPClusterOpts is NewTCPCluster with failure-detection options
+// applied to every member transport.
+func NewTCPClusterOpts(n int, opts TCPOptions) ([]*TCPTransport, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("gluon: cluster needs at least one host, got %d", n)
 	}
 	trs := make([]*TCPTransport, n)
 	for h := 0; h < n; h++ {
 		trs[h] = newTCPTransport(h, n)
+		trs[h].opts = opts
 	}
 	// Wire each unordered pair with one loopback connection.
 	for a := 0; a < n; a++ {
@@ -120,7 +166,8 @@ func newTCPTransport(host, n int) *TCPTransport {
 	}
 }
 
-// startReaders launches one reader goroutine per wired connection.
+// startReaders launches one reader goroutine per wired connection,
+// plus the heartbeat emitter when one is configured.
 func (t *TCPTransport) startReaders() {
 	for g, conn := range t.conns {
 		if g == t.host || conn == nil {
@@ -128,6 +175,34 @@ func (t *TCPTransport) startReaders() {
 		}
 		t.wg.Add(1)
 		go t.readLoop(conn, g)
+	}
+	if t.opts.HeartbeatInterval > 0 {
+		t.wg.Add(1)
+		go t.heartbeatLoop()
+	}
+}
+
+// heartbeatLoop periodically writes a liveness frame on every
+// connection so peers with a read deadline never mistake a long
+// compute phase for a hang. Write errors are ignored here: the read
+// loop (or the next real Send) owns failure reporting.
+func (t *TCPTransport) heartbeatLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	hb := heartbeatMessage()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-ticker.C:
+			for g, conn := range t.conns {
+				if g == t.host || conn == nil {
+					continue
+				}
+				t.writeFrame(g, hb)
+			}
+		}
 	}
 }
 
@@ -140,19 +215,23 @@ func closeAll(trs []*TCPTransport) {
 }
 
 // peerLost reacts to a dropped connection: unless the transport closes
-// (clean shutdown) within peerLossGrace, the peer is declared dead and
-// the transport poisoned.
+// (clean shutdown) within the grace period, the peer is declared dead
+// and the transport poisoned with ErrPeerLost.
 func (t *TCPTransport) peerLost(peer int) {
 	select {
 	case <-t.done:
 		return // our own Close tore the connection down
 	default:
 	}
+	grace := t.opts.PeerLossGrace
+	if grace <= 0 {
+		grace = peerLossGrace
+	}
 	go func() {
 		select {
 		case <-t.done:
-		case <-time.After(peerLossGrace):
-			t.fail(fmt.Errorf("gluon: connection to host %d lost", peer))
+		case <-time.After(grace):
+			t.fail(fmt.Errorf("%w: connection to host %d lost", ErrPeerLost, peer))
 		}
 	}()
 }
@@ -183,13 +262,19 @@ func (t *TCPTransport) closedErr() error {
 // inbox. A read error (peer closed, process exited) starts the
 // peer-loss grace clock: if the transport is not closed within it, the
 // peer crashed and blocked receivers get an error instead of a hang.
-// A malformed frame poisons the whole transport immediately.
+// A read-deadline expiry means the peer is hung — connection open but
+// silent past ReadTimeout — and poisons immediately with ErrPeerLost.
+// A malformed frame poisons the whole transport immediately. Heartbeat
+// frames are consumed here and never reach the inbox.
 func (t *TCPTransport) readLoop(conn net.Conn, peer int) {
 	defer t.wg.Done()
 	hdr := make([]byte, 8)
 	for {
+		if t.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.opts.ReadTimeout))
+		}
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			t.peerLost(peer)
+			t.readFailed(peer, err)
 			return
 		}
 		from := int(binary.LittleEndian.Uint32(hdr))
@@ -204,8 +289,11 @@ func (t *TCPTransport) readLoop(conn net.Conn, peer int) {
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(conn, payload); err != nil {
-			t.peerLost(peer)
+			t.readFailed(peer, err)
 			return
+		}
+		if isHeartbeat(payload) {
+			continue // liveness only; already reset the read deadline
 		}
 		select {
 		case t.inbox <- inprocMsg{from: from, payload: payload}:
@@ -213,6 +301,18 @@ func (t *TCPTransport) readLoop(conn net.Conn, peer int) {
 			return
 		}
 	}
+}
+
+// readFailed classifies a read-loop error: a deadline expiry is a hung
+// peer (immediate ErrPeerLost), anything else a dropped connection
+// (grace clock via peerLost).
+func (t *TCPTransport) readFailed(peer int, err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.fail(fmt.Errorf("%w: no frames from host %d within %v", ErrPeerLost, peer, t.opts.ReadTimeout))
+		return
+	}
+	t.peerLost(peer)
 }
 
 // NumHosts implements Transport.
@@ -234,6 +334,15 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 		return t.closedErr()
 	default:
 	}
+	return t.writeFrame(to, payload)
+}
+
+// writeFrame frames and writes payload on the connection to host `to`,
+// applying the configured write deadline. A deadline expiry means the
+// peer stopped draining its socket — a hung peer — and poisons the
+// transport with ErrPeerLost so every blocked caller learns of it, not
+// just this sender.
+func (t *TCPTransport) writeFrame(to int, payload []byte) error {
 	conn := t.conns[to]
 	if conn == nil {
 		return fmt.Errorf("gluon: no connection to host %d", to)
@@ -245,10 +354,19 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 		t.sendBufs[to] = make([]byte, need)
 	}
 	frame := t.sendBufs[to][:need]
-	binary.LittleEndian.PutUint32(frame, uint32(from))
+	binary.LittleEndian.PutUint32(frame, uint32(t.host))
 	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
 	copy(frame[8:], payload)
+	if t.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	}
 	if _, err := conn.Write(frame); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			werr := fmt.Errorf("%w: write to host %d stalled past %v", ErrPeerLost, to, t.opts.WriteTimeout)
+			t.fail(werr)
+			return werr
+		}
 		return fmt.Errorf("gluon: tcp write to host %d: %w", to, err)
 	}
 	return nil

@@ -8,13 +8,14 @@ import (
 	"graphword2vec/internal/bitset"
 )
 
-// Wire format, version 2 — the byte-level contract is specified in
+// Wire format, version 3 — the byte-level contract is specified in
 // PROTOCOL.md and pinned by the golden frames under testdata/; change
 // either only together with a mesh protocol version bump.
 //
 // Every message starts with a fixed header:
 //
-//	byte 0     kind (reduce / broadcast / access / gather / barrier)
+//	byte 0     kind (reduce / broadcast / access / gather / barrier /
+//	           heartbeat / resume)
 //	bytes 1–4  round number (uint32 LE)
 //	bytes 5–8  entry count (uint32 LE)
 //
@@ -23,15 +24,40 @@ import (
 // Access messages carry a bit-vector restricted to the receiver's
 // master range: (lo uint32, bits uint32, packed bytes). Barrier
 // payloads are empty and use the round field as a caller-chosen tag.
+// Heartbeat frames (v3) are header-only liveness signals emitted and
+// consumed by the transport layer; they never reach the sync engine.
+// Resume frames (v3) carry `count` candidate restart rounds (uint32
+// LE each) for the crash-recovery negotiation, with the round field
+// distinguishing offers from the decision — see PROTOCOL.md §8.
 const (
 	kindReduce    byte = 1
 	kindBroadcast byte = 2
 	kindAccess    byte = 3
 	kindGather    byte = 4
 	kindBarrier   byte = 5
+	kindHeartbeat byte = 6
+	kindResume    byte = 7
 
 	headerBytes = 9
 )
+
+// Exported frame-kind values for InspectFrame consumers (currently the
+// fault-injection harness, which keys its kill points off frame kinds).
+const (
+	FrameReduce  = kindReduce
+	FrameBarrier = kindBarrier
+)
+
+// InspectFrame reports a wire frame's kind byte and round field (the
+// barrier tag, for barrier frames) without validating the payload — a
+// read-only diagnostic seam for tooling layered on Transport, such as
+// the fault-injection harness. It is NOT part of the decode path.
+func InspectFrame(payload []byte) (kind byte, round uint32) {
+	if len(payload) < headerBytes {
+		return 0, 0
+	}
+	return payload[0], binary.LittleEndian.Uint32(payload[1:])
+}
 
 // putHeader writes the message header into buf[:headerBytes].
 func putHeader(buf []byte, kind byte, round, count uint32) {
@@ -53,6 +79,47 @@ func barrierMessage(tag uint32) []byte {
 	buf := make([]byte, headerBytes)
 	putHeader(buf, kindBarrier, tag, 0)
 	return buf
+}
+
+// heartbeatMessage builds the header-only liveness frame. Round and
+// count are zero; the frame is filtered out on the receive path before
+// it can reach the sync engine's pending queue.
+func heartbeatMessage() []byte {
+	buf := make([]byte, headerBytes)
+	putHeader(buf, kindHeartbeat, 0, 0)
+	return buf
+}
+
+// isHeartbeat reports whether a payload is a transport liveness frame.
+func isHeartbeat(payload []byte) bool {
+	return len(payload) == headerBytes && payload[0] == kindHeartbeat
+}
+
+// resumeMessage packs candidate restart rounds for the resume
+// negotiation; tag distinguishes offers from the final decision.
+func resumeMessage(tag uint32, rounds []uint32) []byte {
+	buf := make([]byte, headerBytes+4*len(rounds))
+	putHeader(buf, kindResume, tag, uint32(len(rounds)))
+	for i, r := range rounds {
+		binary.LittleEndian.PutUint32(buf[headerBytes+4*i:], r)
+	}
+	return buf
+}
+
+// parseResumeMessage decodes a resume frame's candidate round list.
+func parseResumeMessage(payload []byte) ([]uint32, error) {
+	_, _, count, err := parseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != headerBytes+4*int(count) {
+		return nil, fmt.Errorf("gluon: resume message of %d bytes claims %d rounds", len(payload), count)
+	}
+	rounds := make([]uint32, count)
+	for i := range rounds {
+		rounds[i] = binary.LittleEndian.Uint32(payload[headerBytes+4*i:])
+	}
+	return rounds, nil
 }
 
 // accessMessage packs the bits [lo, hi) of isSet into an access

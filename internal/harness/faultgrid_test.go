@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"graphword2vec/internal/synth"
+)
+
+func faultGridOpts() Options {
+	o := Defaults(synth.ScaleTiny)
+	o.Hosts = faultGridHosts
+	o.Out = io.Discard
+	return o.WithDefaults()
+}
+
+// smokeCases filters the grid down to the priority-1 diagonal — every
+// kill point, mode, transport and workload covered at least once.
+func smokeCases(t *testing.T) []FaultCase {
+	t.Helper()
+	var cases []FaultCase
+	for _, c := range FaultGridCases() {
+		if c.Priority == 1 {
+			cases = append(cases, c)
+		}
+	}
+	if len(cases) == 0 {
+		t.Fatal("no priority-1 cases in the grid")
+	}
+	return cases
+}
+
+// TestFaultGridCasesCoverAxes pins the matrix shape: the full grid is
+// points × modes × transports × workloads, and the P1 smoke slice still
+// touches every value of every axis.
+func TestFaultGridCasesCoverAxes(t *testing.T) {
+	all := FaultGridCases()
+	if want := 5 * 3 * 2 * 2; len(all) != want {
+		t.Fatalf("grid has %d cells, want %d", len(all), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range all {
+		if seen[c.ID()] {
+			t.Fatalf("duplicate cell %s", c.ID())
+		}
+		seen[c.ID()] = true
+	}
+	axes := map[string]map[string]bool{
+		"point": {}, "mode": {}, "transport": {}, "workload": {},
+	}
+	for _, c := range smokeCases(t) {
+		axes["point"][c.Point.String()] = true
+		axes["mode"][c.Mode.String()] = true
+		axes["transport"][c.Transport] = true
+		axes["workload"][c.Workload] = true
+	}
+	for axis, want := range map[string]int{"point": 5, "mode": 3, "transport": 2, "workload": 2} {
+		if len(axes[axis]) != want {
+			t.Errorf("P1 slice covers %d %s values, want %d (%v)", len(axes[axis]), axis, want, axes[axis])
+		}
+	}
+}
+
+// TestFaultGridSmoke is the CI recovery lane: the priority-1 slice of
+// the kill matrix, every cell of which must recover from its injected
+// fault with a byte-identical model.
+func TestFaultGridSmoke(t *testing.T) {
+	rows, err := FaultGrid(faultGridOpts(), smokeCases(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Recovered || !r.Identical {
+			t.Errorf("%s: recovered=%v identical=%v (resumed from %d)", r.ID, r.Recovered, r.Identical, r.ResumedFrom)
+		}
+		if r.ResumedFrom == 0 {
+			t.Errorf("%s: resumed from round 0, want a checkpointed round", r.ID)
+		}
+	}
+}
+
+// TestFaultGridFull runs every cell of the matrix (the EXPERIMENTS.md
+// case table); the smoke lane covers the P1 diagonal, this covers the
+// rest.
+func TestFaultGridFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 60-cell kill matrix")
+	}
+	rows, err := FaultGrid(faultGridOpts(), FaultGridCases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Recovered || !r.Identical {
+			t.Errorf("%s: recovered=%v identical=%v (resumed from %d)", r.ID, r.Recovered, r.Identical, r.ResumedFrom)
+		}
+	}
+}

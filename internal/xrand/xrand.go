@@ -64,6 +64,20 @@ func (r *Rand) Reseed(seed uint64) {
 	}
 }
 
+// State returns the generator's raw 256-bit state, for checkpointing.
+// SetState with the returned value reproduces the exact output stream.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State. The all-zero state is a
+// fixed point of xoshiro256** and is rejected with the same escape value
+// Reseed uses, so a zeroed checkpoint cannot wedge the generator.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
