@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke cross-arm64 vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke membership-smoke cross-arm64 vet fmt-check fmt docs-check
 
 all: fmt-check vet docs-check build test-short test-sync-race test-portable cross-arm64
 
@@ -58,6 +58,16 @@ serve-latency-smoke:
 # under the race detector (mirrored as a CI step; DESIGN.md §10).
 fault-grid-smoke:
 	$(GO) test -race -count=1 -run 'TestFaultGridSmoke|TestMeshRedialAfterPeerRestart' ./internal/harness/
+
+# Elastic-membership lane: the priority-1 diagonal of the membership
+# grid (every shape change, sync mode, transport and workload at least
+# once) plus the three second-failure cells, under the race detector;
+# the real-process peer-restart test repeats 3× as a flake gate on the
+# redial path elasticity leans on (mirrored as a CI step; DESIGN.md
+# §11, PROTOCOL.md §10).
+membership-smoke:
+	$(GO) test -race -count=1 -run 'TestMembershipGridSmoke|TestSecondFailure' ./internal/harness/
+	$(GO) test -count=3 -run 'TestMeshRedialAfterPeerRestart' ./internal/harness/
 
 # arm64 must compile (simd_stub path).
 cross-arm64:

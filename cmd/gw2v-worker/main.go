@@ -35,6 +35,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
@@ -89,6 +90,8 @@ func main() {
 		resumeFlag  = flag.Bool("resume", false, "resume from the newest cluster-wide checkpoint in -checkpoint-dir (fresh start if none)")
 		maxRestarts = flag.Int("max-restarts", 0, "after losing a peer, re-dial the mesh and resume up to this many times (0 = exit on peer loss)")
 		peerTimeout = flag.Duration("peer-timeout", 0, "declare a silent peer dead after this long; heartbeats are sent every third of it (0 = no failure detection)")
+		elastic     = flag.Bool("elastic", false, "membership-elastic recovery: resumes negotiate the protocol-v4 membership change, and when a lost peer never re-dials within -dial-timeout the survivors re-form a smaller mesh and re-shard its master range instead of wedging (identical on every rank)")
+		minHosts    = flag.Int("min-hosts", 1, "with -elastic, never degrade below this many hosts")
 	)
 	flag.Parse()
 	if *peersCSV == "" {
@@ -205,6 +208,12 @@ func main() {
 	if *maxRestarts > 0 && *ckptDir == "" {
 		log.Fatal("-max-restarts requires -checkpoint-dir (recovery resumes from checkpoints)")
 	}
+	if *elastic && *ckptDir == "" {
+		log.Fatal("-elastic requires -checkpoint-dir (membership changes migrate state via checkpoints)")
+	}
+	if *minHosts < 1 || *minHosts > hosts {
+		log.Fatalf("-min-hosts %d out of range [1,%d]", *minHosts, hosts)
+	}
 	sum := cfg.Checksum(voc.Size(), src.Len(), *dim, extra...)
 	var tcpOpts gluon.TCPOptions
 	if *peerTimeout > 0 {
@@ -222,57 +231,119 @@ func main() {
 		}
 	}
 
+	// Membership state across attempts. addrs/members shrink when the
+	// cluster degrades: members[i] is the ORIGINAL rank of the host now
+	// running as rank i (the membership fingerprint folded into the
+	// degraded mesh checksum, so two survivors with different views of
+	// who died refuse to form a mesh). prevRank is this worker's
+	// identity in the cluster that wrote the current snapshots; a
+	// re-shard restamps them, so it tracks the rank of the last attempt
+	// that got past dialing.
+	addrs := peers
+	members := make([]int, hosts)
+	for i := range members {
+		members[i] = i
+	}
+	curRank, prevRank := *rank, *rank
+
 	// runOnce dials a fresh mesh and drives one full training attempt.
-	// Resume negotiation happens inside RunDistributedOpts, before the
-	// start barrier, so a re-formed mesh agrees on a common round first.
-	runOnce := func(resume bool) (*core.DistributedResult, error) {
+	// Resume (or, with -elastic, membership) negotiation happens inside
+	// RunDistributedOpts, before the start barrier, so a re-formed mesh
+	// agrees on a common cut first. lost is filled from the transport's
+	// failure detector after the attempt ends.
+	runOnce := func(resume bool) (res *core.DistributedResult, lost []int, err error) {
+		meshSum := sum
+		if len(members) != hosts {
+			meshSum = core.MembershipChecksum(sum, members)
+		}
 		tr, err := gluon.DialMesh(gluon.MeshConfig{
-			Rank:     *rank,
-			Peers:    peers,
+			Rank:     curRank,
+			Peers:    addrs,
 			Listen:   *listenAddr,
-			Checksum: sum,
+			Checksum: meshSum,
 			Wire:     cfg.Wire,
 			Timeout:  *dialTimeout,
 			TCP:      tcpOpts,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer tr.Close()
+		defer func() { tr.Close(); lost = tr.LostPeers() }()
 		if !*quiet {
-			log.Printf("rank %d: mesh of %d hosts connected", *rank, hosts)
+			log.Printf("rank %d: mesh of %d hosts connected", curRank, len(addrs))
 		}
-		opts := core.RunOptions{OnEpoch: onEpoch, Checksum: sum}
+		c := cfg
+		c.Hosts = len(addrs) // SyncRounds stays pinned to the launch value
+		opts := core.RunOptions{OnEpoch: onEpoch, Checksum: sum, Warnf: log.Printf}
 		if *ckptDir != "" {
-			opts.Checkpoint = &core.CheckpointPolicy{Dir: *ckptDir, Every: *ckptEvery, Resume: resume}
+			opts.Checkpoint = &core.CheckpointPolicy{
+				Dir: *ckptDir, Every: *ckptEvery,
+				Resume:  resume,
+				Elastic: *elastic && resume,
+				OldRank: prevRank,
+			}
 		}
-		return core.RunDistributedOpts(cfg, *rank, tr, voc, neg, src, *dim, opts)
+		res, err = core.RunDistributedOpts(c, curRank, tr, voc, neg, src, *dim, opts)
+		return res, nil, err
 	}
 
 	start := time.Now()
 	resume := *resumeFlag
 	var res *core.DistributedResult
+	var lostNow []int // current-rank ids declared dead in failed attempts
 	for attempt := 0; ; attempt++ {
-		res, err = runOnce(resume)
+		var lost []int
+		res, lost, err = runOnce(resume)
 		if err == nil {
 			break
 		}
-		if !errors.Is(err, gluon.ErrPeerLost) || attempt >= *maxRestarts {
+		prevRank = curRank // the attempt ran; a re-shard restamps snapshots
+		switch {
+		case errors.Is(err, gluon.ErrPeerLost) && attempt < *maxRestarts:
+			// Recovery: every survivor lands here, and the dead rank's
+			// supervisor is expected to relaunch it with the same
+			// flags. The re-dial window (-dial-timeout) absorbs the
+			// skew; the brief pause lets peers finish tearing down
+			// their old listeners before the mesh re-forms.
+			for _, p := range lost {
+				if !slices.Contains(lostNow, p) {
+					lostNow = append(lostNow, p)
+				}
+			}
+			log.Printf("rank %d: %v — re-forming mesh and resuming (restart %d/%d)", curRank, err, attempt+1, *maxRestarts)
+			time.Sleep(500 * time.Millisecond)
+			resume = true
+		case errors.Is(err, gluon.ErrMeshTimeout) && *elastic && attempt < *maxRestarts &&
+			len(lostNow) > 0 && len(members)-len(lostNow) >= *minHosts:
+			// The dead peers never came back: drop them and continue
+			// degraded. Surviving ranks shift down, preserving order,
+			// so every survivor derives the same new mesh.
+			var nextAddrs []string
+			var nextMembers []int
+			nextRank := -1
+			for i := range members {
+				if slices.Contains(lostNow, i) {
+					continue
+				}
+				if i == curRank {
+					nextRank = len(nextMembers)
+				}
+				nextAddrs = append(nextAddrs, addrs[i])
+				nextMembers = append(nextMembers, members[i])
+			}
+			log.Printf("rank %d: peers %v never re-dialed — continuing as rank %d of a %d-host cluster (original ranks %v)",
+				curRank, lostNow, nextRank, len(nextMembers), nextMembers)
+			addrs, members, curRank = nextAddrs, nextMembers, nextRank
+			lostNow = nil
+			resume = true
+		default:
 			log.Fatal(err)
 		}
-		// Elastic recovery: every survivor lands here, and the dead
-		// rank's supervisor is expected to relaunch it with the same
-		// flags. The re-dial window (-dial-timeout) absorbs the skew;
-		// the brief pause lets peers finish tearing down their old
-		// listeners before the mesh re-forms.
-		log.Printf("rank %d: %v — re-forming mesh and resuming (restart %d/%d)", *rank, err, attempt+1, *maxRestarts)
-		time.Sleep(500 * time.Millisecond)
-		resume = true
 	}
 	if res.ResumedFrom > 0 {
-		log.Printf("rank %d: resumed from checkpoint round %d", *rank, res.ResumedFrom)
+		log.Printf("rank %d: resumed from checkpoint round %d", curRank, res.ResumedFrom)
 	}
-	log.Printf("rank %d: trained %d pairs in %s (%s sent)", *rank,
+	log.Printf("rank %d: trained %d pairs in %s (%s sent)", curRank,
 		res.Engine.Train.Pairs, time.Since(start).Round(time.Millisecond), cliutil.FormatBytes(res.Engine.Comm.TotalBytes()))
 
 	if res.Canonical != nil {

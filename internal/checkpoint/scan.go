@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DirEntry describes one validated snapshot file found by ScanDir: the
+// header metadata needed to negotiate a membership change, plus the
+// path to reload the full snapshot if this rank is assigned to source
+// from it.
+type DirEntry struct {
+	Path string
+	// Rank and Hosts are the snapshot's stamped identity: which rank of
+	// which cluster shape wrote it. After a membership change these can
+	// differ from the scanning rank's current identity.
+	Rank, Hosts int
+	NextRound   uint32
+}
+
+// ScanDir enumerates every snapshot generation any rank left in a
+// shared checkpoint directory — rankNNNN.ckpt and rankNNNN.ckpt.prev —
+// and fully validates each (hash, format version, config checksum
+// against sum). It returns the valid entries sorted by (rank, round
+// descending, current before previous) and, separately, one error per
+// damaged file.
+//
+// The two return values distinguish the cases the resume negotiation
+// must not conflate: a missing or empty directory is a legitimate
+// fresh start (no entries, no errors), while a directory whose files
+// exist but fail validation is a damaged store (no entries, errors) —
+// silently offering round 0 in the latter case would discard training
+// history without a trace, so callers surface the errors in logs.
+// In-flight temporaries (.tmp, .new) from an interrupted save are not
+// snapshots and are ignored.
+func ScanDir(dir string, sum uint64) ([]DirEntry, []error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, []error{fmt.Errorf("checkpoint: scan %s: %w", dir, err)}
+	}
+	var entries []DirEntry
+	var damage []error
+	for _, f := range files {
+		if f.IsDir() || !snapshotName(f.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, f.Name())
+		s, err := Load(path)
+		if err == nil && s.Checksum != sum {
+			err = fmt.Errorf("%w: %s has %#x, run has %#x", ErrConfigMismatch, path, s.Checksum, sum)
+		}
+		if err != nil {
+			damage = append(damage, err)
+			continue
+		}
+		entries = append(entries, DirEntry{Path: path, Rank: s.Rank, Hosts: s.Hosts, NextRound: s.NextRound})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.NextRound != b.NextRound {
+			return a.NextRound > b.NextRound
+		}
+		return !strings.HasSuffix(a.Path, ".prev")
+	})
+	return entries, damage
+}
+
+// snapshotName reports whether a file name is a snapshot generation
+// (rankNNNN.ckpt or rankNNNN.ckpt.prev).
+func snapshotName(name string) bool {
+	name = strings.TrimSuffix(name, ".prev")
+	if !strings.HasPrefix(name, "rank") || !strings.HasSuffix(name, ".ckpt") {
+		return false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "rank"), ".ckpt")
+	if len(digits) < 4 {
+		return false
+	}
+	_, err := strconv.Atoi(digits)
+	return err == nil
+}

@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// saveStamped saves a minimal valid snapshot file at path.
+func saveStamped(t *testing.T, path string, sum uint64, rank, hosts int, round uint32) {
+	t.Helper()
+	s := randomSnapshot(uint64(rank)*31+uint64(round), 1)
+	s.Checksum, s.Rank, s.Hosts, s.NextRound = sum, rank, hosts, round
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanDirMissing: a directory that never existed is a legitimate
+// fresh start — no entries AND no damage.
+func TestScanDirMissing(t *testing.T) {
+	entries, damage := ScanDir(filepath.Join(t.TempDir(), "never-made"), 1)
+	if entries != nil || damage != nil {
+		t.Fatalf("ScanDir(missing) = (%v, %v), want (nil, nil)", entries, damage)
+	}
+}
+
+// TestScanDirEmpty: same for an existing but empty directory.
+func TestScanDirEmpty(t *testing.T) {
+	entries, damage := ScanDir(t.TempDir(), 1)
+	if entries != nil || damage != nil {
+		t.Fatalf("ScanDir(empty) = (%v, %v), want (nil, nil)", entries, damage)
+	}
+}
+
+// TestScanDirEntries: a shared directory with current and .prev
+// generations from several ranks comes back sorted (rank ascending,
+// round descending, current before prev) with correct stamps.
+func TestScanDirEntries(t *testing.T) {
+	const sum = 0xABCD
+	dir := t.TempDir()
+	saveStamped(t, filepath.Join(dir, "rank0001.ckpt"), sum, 1, 3, 6)
+	saveStamped(t, filepath.Join(dir, "rank0001.ckpt.prev"), sum, 1, 3, 3)
+	saveStamped(t, filepath.Join(dir, "rank0000.ckpt"), sum, 0, 3, 6)
+	// Ignored: temporaries and non-snapshot names.
+	for _, junk := range []string{"rank0002.ckpt.tmp", "rank0002.ckpt.new", "notes.txt", "rank2.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, damage := ScanDir(dir, sum)
+	if len(damage) != 0 {
+		t.Fatalf("unexpected damage: %v", damage)
+	}
+	want := []DirEntry{
+		{Rank: 0, Hosts: 3, NextRound: 6},
+		{Rank: 1, Hosts: 3, NextRound: 6},
+		{Rank: 1, Hosts: 3, NextRound: 3},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("got %d entries %v, want %d", len(entries), entries, len(want))
+	}
+	for i, w := range want {
+		e := entries[i]
+		if e.Rank != w.Rank || e.Hosts != w.Hosts || e.NextRound != w.NextRound {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, w)
+		}
+	}
+	if filepath.Base(entries[2].Path) != "rank0001.ckpt.prev" {
+		t.Fatalf("entry 2 path %s, want the .prev generation", entries[2].Path)
+	}
+}
+
+// TestScanDirTieOrder: when current and .prev stamp the same round,
+// the current generation sorts first.
+func TestScanDirTieOrder(t *testing.T) {
+	const sum = 7
+	dir := t.TempDir()
+	saveStamped(t, filepath.Join(dir, "rank0000.ckpt"), sum, 0, 2, 4)
+	saveStamped(t, filepath.Join(dir, "rank0000.ckpt.prev"), sum, 0, 2, 4)
+	entries, damage := ScanDir(dir, sum)
+	if len(damage) != 0 || len(entries) != 2 {
+		t.Fatalf("ScanDir = (%v, %v), want 2 clean entries", entries, damage)
+	}
+	if filepath.Base(entries[0].Path) != "rank0000.ckpt" {
+		t.Fatalf("current generation should sort first, got %s", entries[0].Path)
+	}
+}
+
+// TestScanDirDamage: corrupt files and checksum mismatches surface as
+// damage — distinguishable from a fresh start — while intact files in
+// the same directory still scan.
+func TestScanDirDamage(t *testing.T) {
+	const sum = 42
+	dir := t.TempDir()
+	saveStamped(t, filepath.Join(dir, "rank0000.ckpt"), sum, 0, 2, 4)
+	// Bit-rotted file: valid name, garbage bytes.
+	if err := os.WriteFile(filepath.Join(dir, "rank0001.ckpt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Valid snapshot from a different run configuration.
+	saveStamped(t, filepath.Join(dir, "rank0001.ckpt.prev"), sum+1, 1, 2, 2)
+	entries, damage := ScanDir(dir, sum)
+	if len(entries) != 1 || entries[0].Rank != 0 {
+		t.Fatalf("entries = %v, want only rank 0's", entries)
+	}
+	if len(damage) != 2 {
+		t.Fatalf("damage = %v, want 2 errors (corrupt + config mismatch)", damage)
+	}
+}
+
+// TestSnapshotName pins which file names count as snapshot generations.
+func TestSnapshotName(t *testing.T) {
+	yes := []string{"rank0000.ckpt", "rank0012.ckpt.prev", "rank12345.ckpt"}
+	no := []string{"rank12.ckpt", "rank0000.ckpt.tmp", "rank0000.ckpt.new", "rankabcd.ckpt", "model.bin", "rank0000"}
+	for _, n := range yes {
+		if !snapshotName(n) {
+			t.Errorf("snapshotName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range no {
+		if snapshotName(n) {
+			t.Errorf("snapshotName(%q) = true, want false", n)
+		}
+	}
+}

@@ -30,6 +30,15 @@ const (
 // cmd/gw2v-worker folds its vocabulary options, whose subsampling
 // threshold changes per-token keep decisions without changing the
 // vocabulary size or token count.
+//
+// The cluster size (Hosts) is deliberately NOT folded: the checksum is
+// also stamped into checkpoint snapshots, and elastic membership
+// changes (PROTOCOL.md §10) must restore snapshots written under a
+// different host count. The mesh handshake verifies cluster size
+// separately, so dropping it here loses no protection. SyncRounds IS
+// folded — it defines the round numbering snapshots are cut on — so a
+// cluster that changes size keeps the SyncRounds of its original
+// launch (gw2v-worker pins it across elastic relaunches).
 func (c *Config) Checksum(vocabSize, corpusLen, dim int, extra ...uint64) uint64 {
 	var shuffle uint64
 	if c.ShuffleEachEpoch {
@@ -40,7 +49,7 @@ func (c *Config) Checksum(vocabSize, corpusLen, dim int, extra ...uint64) uint64
 		comb = mixSeed(comb, uint64(b))
 	}
 	parts := []uint64{
-		uint64(c.Hosts), uint64(c.Epochs), uint64(c.SyncRounds),
+		uint64(c.Epochs), uint64(c.SyncRounds),
 		uint64(math.Float32bits(c.Alpha)), uint64(math.Float32bits(c.MinAlphaFactor)),
 		uint64(c.ThreadsPerHost),
 		uint64(c.Params.Window), uint64(c.Params.Negatives), uint64(c.Params.MaxSentenceLength),
@@ -80,7 +89,27 @@ type CheckpointPolicy struct {
 	// fresh start (round 0) when no snapshot is shared, so a wiped disk
 	// never wedges the cluster.
 	Resume bool
+	// Elastic upgrades the resume negotiation to the protocol-v4
+	// membership negotiation (PROTOCOL.md §10): the cluster may be a
+	// different size than the one that wrote the snapshots, ranks may
+	// have changed identity, and fresh members may hold nothing. Rank 0
+	// picks the best jointly reachable cut; if a plain restore is
+	// impossible the full canonical model at that cut is assembled via
+	// range transfers, re-sharded under the new partition map, and
+	// re-checkpointed on every rank before training continues. Every
+	// rank must set Elastic identically (like Resume, a mixed cluster
+	// deadlocks until the transport timeout). Implies Resume.
+	Elastic bool
+	// OldRank is this rank's identity in the cluster that wrote the
+	// snapshots (for an unchanged cluster, its current rank). Use
+	// FreshRank (-1) for a member with no prior identity — a brand-new
+	// or replacement host. Only consulted when Elastic is set.
+	OldRank int
 }
+
+// FreshRank marks an elastic member with no identity in the old
+// cluster (re-exported from gluon for CheckpointPolicy.OldRank).
+const FreshRank = gluon.FreshRank
 
 // RunOptions carries the optional knobs of RunDistributedOpts.
 type RunOptions struct {
@@ -99,6 +128,26 @@ type RunOptions struct {
 	// substitutes torn-write sinks). Resume still reads snapshots from
 	// Checkpoint.Dir.
 	Sink CheckpointSink
+	// StopAfterRound, when positive, pauses the run at that global
+	// round boundary instead of training to completion: the engine
+	// checkpoints as usual up to the boundary (make StopAfterRound a
+	// multiple of the checkpoint cadence so the boundary itself is
+	// cut), then returns with Engine.Paused set. The cluster stays
+	// consistent — every rank must pass the same value — and a later
+	// run can resume from the boundary, including an Elastic one with
+	// more hosts (scale-up join at a round boundary).
+	StopAfterRound uint32
+	// Warnf, if non-nil, receives non-fatal diagnostics — damaged
+	// checkpoint files skipped during resume, degraded membership
+	// decisions. cmd/gw2v-worker wires log.Printf.
+	Warnf func(format string, args ...any)
+}
+
+// warnf forwards to opts.Warnf when set.
+func (o *RunOptions) warnf(format string, args ...any) {
+	if o.Warnf != nil {
+		o.Warnf(format, args...)
+	}
 }
 
 // RunDistributed drives one host of a real multi-host cluster over the
@@ -127,6 +176,7 @@ func RunDistributedOpts(cfg Config, rank int, tr gluon.Transport, voc *vocab.Voc
 	if err != nil {
 		return nil, err
 	}
+	eng.stopAfter = opts.StopAfterRound
 	var resumedFrom uint32
 	if pol := opts.Checkpoint; pol != nil {
 		sum := opts.Checksum
@@ -139,11 +189,24 @@ func RunDistributedOpts(cfg Config, rank int, tr gluon.Transport, voc *vocab.Voc
 			sink = opts.Sink
 		}
 		eng.EnableCheckpoints(sink, pol.Every, sum)
-		if pol.Resume {
+		switch {
+		case pol.Elastic:
+			resumedFrom, err = elasticResume(eng, pol, &opts, sum, sink)
+			if err != nil {
+				return nil, fmt.Errorf("core: host %d membership negotiation: %w", rank, err)
+			}
+		case pol.Resume:
 			// Damaged or mismatched snapshots are skipped here, not
 			// fatal: Snapshots already fell back to older generations,
 			// and offering fewer rounds only lowers the common round.
-			snaps, _ := store.Snapshots(sum)
+			// But skipping is not silence — a rank whose whole store is
+			// damage would otherwise offer round 0 exactly like a rank
+			// that never checkpointed, and the discarded history would
+			// leave no trace in any log.
+			snaps, serr := store.Snapshots(sum)
+			if serr != nil {
+				opts.warnf("core: host %d: damaged checkpoint store %s (resuming from older generation or round 0): %v", rank, pol.Dir, serr)
+			}
 			rounds := make([]uint32, 0, len(snaps))
 			for _, s := range snaps {
 				rounds = append(rounds, s.NextRound)

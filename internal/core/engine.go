@@ -83,6 +83,7 @@ type Engine struct {
 	ckptEvery  int
 	ckptSum    uint64
 	startRound uint32
+	stopAfter  uint32
 	totalStats sgns.Stats
 }
 
@@ -333,6 +334,11 @@ type EngineResult struct {
 	// SyncSeconds is the host's total measured synchronisation wall
 	// time (the blocking Sync calls, including peer wait).
 	SyncSeconds float64
+	// Paused reports that the run stopped at a StopAfterRound boundary
+	// instead of completing every epoch. Train then counts only the
+	// fully finished epochs; the partial epoch's counters live in the
+	// checkpoint cut at the boundary.
+	Paused bool
 }
 
 // Run executes the full training loop for this host: for every epoch and
@@ -361,6 +367,16 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 				// RNG streams and per-epoch stats were restored.
 				globalRound++
 				continue
+			}
+			if e.stopAfter > 0 && globalRound >= e.stopAfter {
+				// Pause at the requested boundary, before computing
+				// this round: the checkpoint cut here (end of the
+				// previous iteration) is what a grown cluster resumes
+				// from. A restored engine whose startRound already
+				// reaches stopAfter executes nothing.
+				res.Paused = true
+				res.Local = e.local
+				return res, nil
 			}
 			pprof.Do(ctx, computeLabels, func(context.Context) {
 				e.computeRound(epoch, round, alpha)

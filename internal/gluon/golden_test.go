@@ -74,6 +74,22 @@ func goldenFrames(t *testing.T) map[string][]byte {
 		"heartbeat":       heartbeatMessage(),
 		"resume-offer":    resumeMessage(resumeOffer, []uint32{0, 6, 12}),
 		"resume-decision": resumeMessage(resumeDecision, []uint32{6}),
+		"membership-offer": membershipOfferMessage(MembershipOffer{
+			OldHosts: 3, OldRank: 2,
+			Rounds: []RoundSources{{Round: 4, Mask: 0b111, SelfHeld: true}, {Round: 6, Mask: 0b100}},
+		}),
+		"membership-offer-fresh": membershipOfferMessage(MembershipOffer{OldRank: FreshRank}),
+		"membership-decision": membershipDecisionMessage(MembershipDecision{
+			Round: 4, OldHosts: 3, Sources: []int{0, 0, 1},
+		}),
+		"membership-decision-plain": membershipDecisionMessage(MembershipDecision{Plain: true, Round: 6, OldHosts: 3}),
+		// Transfer frames reuse the vector-frame codec with the round
+		// field carrying the migrated old rank (here: old rank 1).
+		"transfer-varint": encodeVectorFrame(kindTransfer, 1, wireVarint, dim, []int32{5, 6, 7}, nil, func(n int32, dst []float32) {
+			for i := range dst {
+				dst[i] = float32(n)*10 + float32(i)
+			}
+		}),
 	}
 
 	// The mesh hello, captured off a pipe: rank 1 of 3, checksum
@@ -108,7 +124,7 @@ func TestWireGolden(t *testing.T) {
 
 	if *updateGolden {
 		var sb strings.Builder
-		sb.WriteString("# Golden wire frames, protocol version 3 (PROTOCOL.md).\n")
+		sb.WriteString("# Golden wire frames, protocol version 4 (PROTOCOL.md).\n")
 		sb.WriteString("# Regenerate ONLY on a deliberate, version-bumped format change:\n")
 		sb.WriteString("#   go test ./internal/gluon -run TestWireGolden -update-golden\n")
 		names := make([]string, 0, len(frames))
@@ -272,5 +288,44 @@ func TestWireGoldenDecodes(t *testing.T) {
 	}
 	if rounds, err = parseResumeMessage(lookup["resume-decision"]); err != nil || len(rounds) != 1 || rounds[0] != 6 {
 		t.Fatalf("resume-decision rounds = %v, %v", rounds, err)
+	}
+
+	// Membership frames (protocol v4).
+	offer, err := parseMembershipOffer(lookup["membership-offer"])
+	if err != nil || offer.OldHosts != 3 || offer.OldRank != 2 || len(offer.Rounds) != 2 {
+		t.Fatalf("membership-offer = %+v, %v", offer, err)
+	}
+	if r := offer.Rounds[0]; r.Round != 4 || r.Mask != 0b111 || !r.SelfHeld {
+		t.Fatalf("membership-offer round[0] = %+v", r)
+	}
+	if r := offer.Rounds[1]; r.Round != 6 || r.Mask != 0b100 || r.SelfHeld {
+		t.Fatalf("membership-offer round[1] = %+v", r)
+	}
+	offer, err = parseMembershipOffer(lookup["membership-offer-fresh"])
+	if err != nil || offer.OldHosts != 0 || offer.OldRank != FreshRank || len(offer.Rounds) != 0 {
+		t.Fatalf("membership-offer-fresh = %+v, %v", offer, err)
+	}
+	dec, err := parseMembershipDecision(lookup["membership-decision"])
+	if err != nil || dec.Plain || dec.Round != 4 || dec.OldHosts != 3 ||
+		len(dec.Sources) != 3 || dec.Sources[0] != 0 || dec.Sources[1] != 0 || dec.Sources[2] != 1 {
+		t.Fatalf("membership-decision = %+v, %v", dec, err)
+	}
+	dec, err = parseMembershipDecision(lookup["membership-decision-plain"])
+	if err != nil || !dec.Plain || dec.Round != 6 || dec.OldHosts != 3 || dec.Sources != nil {
+		t.Fatalf("membership-decision-plain = %+v, %v", dec, err)
+	}
+	var transferred []int32
+	kind, tag, _, _ = parseHeader(lookup["transfer-varint"])
+	if kind != kindTransfer || tag != 1 {
+		t.Fatalf("transfer-varint header = (%d, %d)", kind, tag)
+	}
+	if err := decodeVectorFrame(lookup["transfer-varint"], dim, wireVarint, func(n int32, half byte, vec []float32) error {
+		transferred = append(transferred, n)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(transferred) != 3 || transferred[0] != 5 || transferred[2] != 7 {
+		t.Fatalf("transfer-varint nodes = %v", transferred)
 	}
 }

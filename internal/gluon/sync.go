@@ -425,7 +425,10 @@ func (hs *HostSync) frameFlags(kind byte) byte {
 			f &^= wireHalves
 		}
 		return f
-	case kindGather:
+	case kindGather, kindTransfer:
+		// Gather assembles a fresh model from nothing and transfer
+		// installs a departed rank's master range on hosts with no
+		// prior state: both need full exact values.
 		return f &^ (wireFP16 | wireHalves)
 	}
 	return 0

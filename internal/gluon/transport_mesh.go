@@ -32,9 +32,11 @@ const (
 	// to this hello. Version 3 added the heartbeat and resume frame
 	// kinds for failure detection and checkpoint recovery (PROTOCOL.md
 	// §8); a v2 peer would misparse them, so the hello check is what
-	// keeps mixed-version meshes from forming. See PROTOCOL.md §7 for
-	// the bump policy.
-	meshVersion = 3
+	// keeps mixed-version meshes from forming. Version 4 added the
+	// membership and transfer frame kinds for elastic membership
+	// changes (PROTOCOL.md §10). See PROTOCOL.md §7 for the bump
+	// policy.
+	meshVersion = 4
 	// meshHelloBytes is the encoded hello size.
 	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8 + 1
 	// meshDialRetry is the pause between connection attempts while a
@@ -135,6 +137,9 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 				}
 				conn, err := ln.Accept()
 				if err != nil {
+					if ne, ok := err.(net.Error); ok && ne.Timeout() {
+						err = fmt.Errorf("%w: %v", ErrMeshTimeout, err)
+					}
 					results <- wired{err: fmt.Errorf("gluon: mesh rank %d accept: %w", cfg.Rank, err)}
 					return
 				}
@@ -189,6 +194,13 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 	return t, nil
 }
 
+// ErrMeshTimeout marks a mesh bootstrap that gave up waiting for a
+// peer. Elastic callers (gw2v-worker -elastic) match it with errors.Is
+// to distinguish "a peer never came back" — grounds for degrading to a
+// smaller cluster — from handshake rejections, which mean
+// misconfiguration and must stay fatal.
+var ErrMeshTimeout = fmt.Errorf("gluon: mesh bootstrap timed out")
+
 // dialHello connects to peer (a higher rank), retrying until deadline,
 // and runs the hello exchange from the dialer side.
 func dialHello(cfg MeshConfig, peer int, deadline time.Time) (net.Conn, error) {
@@ -197,7 +209,9 @@ func dialHello(cfg MeshConfig, peer int, deadline time.Time) (net.Conn, error) {
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			if lastErr == nil {
-				lastErr = fmt.Errorf("timed out")
+				lastErr = ErrMeshTimeout
+			} else {
+				lastErr = fmt.Errorf("%w: %v", ErrMeshTimeout, lastErr)
 			}
 			return nil, fmt.Errorf("gluon: mesh rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Peers[peer], lastErr)
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"time"
 )
@@ -80,6 +81,7 @@ type TCPTransport struct {
 
 	failMu  sync.Mutex
 	failure error // first framing/protocol error, reported by Recv/Send
+	lost    map[int]bool
 }
 
 // maxFrameBytes bounds a single frame to catch corrupted length
@@ -231,9 +233,36 @@ func (t *TCPTransport) peerLost(peer int) {
 		select {
 		case <-t.done:
 		case <-time.After(grace):
+			t.markLost(peer)
 			t.fail(fmt.Errorf("%w: connection to host %d lost", ErrPeerLost, peer))
 		}
 	}()
+}
+
+// markLost records a peer declared dead, for LostPeers.
+func (t *TCPTransport) markLost(peer int) {
+	t.failMu.Lock()
+	if t.lost == nil {
+		t.lost = make(map[int]bool)
+	}
+	t.lost[peer] = true
+	t.failMu.Unlock()
+}
+
+// LostPeers returns the host ids this transport declared dead (dropped
+// connection past the grace period, read-deadline expiry, or stalled
+// write), in ascending order. Valid after the transport fails or
+// closes; elastic callers use it to decide which ranks to drop when
+// re-forming a smaller mesh.
+func (t *TCPTransport) LostPeers() []int {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	peers := make([]int, 0, len(t.lost))
+	for p := range t.lost {
+		peers = append(peers, p)
+	}
+	slices.Sort(peers)
+	return peers
 }
 
 // fail records the first protocol error and tears the transport down so
@@ -309,6 +338,7 @@ func (t *TCPTransport) readLoop(conn net.Conn, peer int) {
 func (t *TCPTransport) readFailed(peer int, err error) {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
+		t.markLost(peer)
 		t.fail(fmt.Errorf("%w: no frames from host %d within %v", ErrPeerLost, peer, t.opts.ReadTimeout))
 		return
 	}
@@ -363,11 +393,26 @@ func (t *TCPTransport) writeFrame(to int, payload []byte) error {
 	if _, err := conn.Write(frame); err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
+			t.markLost(to)
 			werr := fmt.Errorf("%w: write to host %d stalled past %v", ErrPeerLost, to, t.opts.WriteTimeout)
 			t.fail(werr)
 			return werr
 		}
-		return fmt.Errorf("gluon: tcp write to host %d: %w", to, err)
+		// A connection-level write failure (reset, broken pipe) is
+		// definitive peer loss: the protocol tears no connection down
+		// before the finish barrier, so a peer whose socket rejects our
+		// frames has died — unlike a read EOF there is no within-grace
+		// clean-shutdown interpretation. Our own Close racing a write is
+		// the one benign cause, guarded by the done check.
+		select {
+		case <-t.done:
+			return fmt.Errorf("gluon: tcp write to host %d: %w", to, err)
+		default:
+		}
+		t.markLost(to)
+		werr := fmt.Errorf("%w: write to host %d failed: %v", ErrPeerLost, to, err)
+		t.fail(werr)
+		return werr
 	}
 	return nil
 }

@@ -15,28 +15,36 @@ import (
 // Every message starts with a fixed header:
 //
 //	byte 0     kind (reduce / broadcast / access / gather / barrier /
-//	           heartbeat / resume)
+//	           heartbeat / resume / membership / transfer)
 //	bytes 1–4  round number (uint32 LE)
 //	bytes 5–8  entry count (uint32 LE)
 //
-// Vector frames (reduce, broadcast, gather) continue with a codec byte
-// and codec-dependent index / mask / payload sections — see codec.go.
-// Access messages carry a bit-vector restricted to the receiver's
-// master range: (lo uint32, bits uint32, packed bytes). Barrier
-// payloads are empty and use the round field as a caller-chosen tag.
-// Heartbeat frames (v3) are header-only liveness signals emitted and
-// consumed by the transport layer; they never reach the sync engine.
-// Resume frames (v3) carry `count` candidate restart rounds (uint32
-// LE each) for the crash-recovery negotiation, with the round field
-// distinguishing offers from the decision — see PROTOCOL.md §8.
+// Vector frames (reduce, broadcast, gather, transfer) continue with a
+// codec byte and codec-dependent index / mask / payload sections — see
+// codec.go. Access messages carry a bit-vector restricted to the
+// receiver's master range: (lo uint32, bits uint32, packed bytes).
+// Barrier payloads are empty and use the round field as a caller-chosen
+// tag. Heartbeat frames (v3) are header-only liveness signals emitted
+// and consumed by the transport layer; they never reach the sync
+// engine. Resume frames (v3) carry `count` candidate restart rounds
+// (uint32 LE each) for the crash-recovery negotiation, with the round
+// field distinguishing offers from the decision — see PROTOCOL.md §8.
+// Membership frames (v4) extend that negotiation to membership changes:
+// offers describe which dead ranks' master ranges a host can source
+// from its checkpoint store, the decision carries the agreed cut round
+// plus the per-range source assignment, and transfer frames (v4) are
+// vector frames migrating one departed rank's master range to the whole
+// re-sharded cluster — see PROTOCOL.md §10 and membership.go.
 const (
-	kindReduce    byte = 1
-	kindBroadcast byte = 2
-	kindAccess    byte = 3
-	kindGather    byte = 4
-	kindBarrier   byte = 5
-	kindHeartbeat byte = 6
-	kindResume    byte = 7
+	kindReduce     byte = 1
+	kindBroadcast  byte = 2
+	kindAccess     byte = 3
+	kindGather     byte = 4
+	kindBarrier    byte = 5
+	kindHeartbeat  byte = 6
+	kindResume     byte = 7
+	kindMembership byte = 8
+	kindTransfer   byte = 9
 
 	headerBytes = 9
 )
@@ -44,8 +52,11 @@ const (
 // Exported frame-kind values for InspectFrame consumers (currently the
 // fault-injection harness, which keys its kill points off frame kinds).
 const (
-	FrameReduce  = kindReduce
-	FrameBarrier = kindBarrier
+	FrameReduce     = kindReduce
+	FrameBarrier    = kindBarrier
+	FrameResume     = kindResume
+	FrameMembership = kindMembership
+	FrameTransfer   = kindTransfer
 )
 
 // InspectFrame reports a wire frame's kind byte and round field (the

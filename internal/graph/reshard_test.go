@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestReshardMapTiles: the elastic membership change re-shards a model
+// from an old partition onto a new one (internal/core.elasticResume).
+// Its correctness rests on a tiling property — for ANY two shapes over
+// the same vocabulary, the old master ranges and the new master ranges
+// each cover [0, V) exactly once — so every transferred old range lands
+// fully inside the new map with nothing lost or duplicated. The table
+// pins the edge shapes the membership grid exercises: more hosts than
+// nodes (empty ranges are legal), single-host clusters on either side,
+// and the N→N−1→N shapes of the round-trip test.
+func TestReshardMapTiles(t *testing.T) {
+	cases := []struct{ nodes, oldHosts, newHosts int }{
+		{1, 1, 1},   // degenerate single node, single host
+		{3, 8, 2},   // V < oldHosts: empty old ranges
+		{5, 2, 8},   // V < newHosts: empty new ranges
+		{10, 3, 2},  // the depart shape (N → N−1)
+		{10, 2, 3},  // the grow shape (N−1 → N)
+		{64, 64, 1}, // collapse to a single host
+		{64, 1, 64}, // explode from a single host
+		{23, 4, 3},  // coprime sizes, uneven cuts
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("v%d_%dto%d", tc.nodes, tc.oldHosts, tc.newHosts), func(t *testing.T) {
+			oldP, err := NewPartition(tc.nodes, tc.oldHosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newP, err := NewPartition(tc.nodes, tc.newHosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each partition tiles [0, V): contiguous, gap-free, in order.
+			for _, p := range []*Partition{oldP, newP} {
+				at := 0
+				for h := 0; h < p.NumHosts(); h++ {
+					lo, hi := p.MasterRange(h)
+					if lo != at || hi < lo {
+						t.Fatalf("host %d range [%d,%d) breaks tiling at %d", h, lo, hi, at)
+					}
+					at = hi
+				}
+				if at != tc.nodes {
+					t.Fatalf("ranges cover [0,%d), want [0,%d)", at, tc.nodes)
+				}
+			}
+			// The re-shard map: transferring every old range and slicing
+			// by the new map assigns every node exactly one new owner.
+			seen := make([]int, tc.nodes)
+			for q := 0; q < tc.oldHosts; q++ {
+				lo, hi := oldP.MasterRange(q)
+				for n := lo; n < hi; n++ {
+					seen[n]++
+					if got := newP.MasterOf(n); got < 0 || got >= tc.newHosts {
+						t.Fatalf("node %d maps to out-of-range new host %d", n, got)
+					}
+				}
+			}
+			for n, c := range seen {
+				if c != 1 {
+					t.Fatalf("node %d covered %d times by old ranges, want exactly once", n, c)
+				}
+			}
+		})
+	}
+}
+
+// TestReshardMapRejectsEmpty: a zero- or negative-sized vocabulary has
+// no valid partition on either side of a membership change.
+func TestReshardMapRejectsEmpty(t *testing.T) {
+	for _, nodes := range []int{0, -1} {
+		if _, err := NewPartition(nodes, 2); err == nil {
+			t.Errorf("NewPartition(%d, 2) accepted", nodes)
+		}
+	}
+}

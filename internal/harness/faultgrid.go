@@ -324,29 +324,30 @@ func faultWorkloads(opts Options) ([]*faultWorkload, error) {
 }
 
 // faultGridTransports builds the per-rank transports for one cluster
-// attempt. The "tcp" flavour uses tight failure-detection deadlines so
-// survivors notice the kill in milliseconds, not the 5 s default.
-func faultGridTransports(kind string) ([]gluon.Transport, func(), error) {
+// attempt of the given size. The "tcp" flavour uses tight
+// failure-detection deadlines so survivors notice a kill in
+// milliseconds, not the 5 s default.
+func faultGridTransports(kind string, hosts int) ([]gluon.Transport, func(), error) {
 	switch kind {
 	case "sim":
-		tr, err := gluon.NewInProcTransport(faultGridHosts)
+		tr, err := gluon.NewInProcTransport(hosts)
 		if err != nil {
 			return nil, nil, err
 		}
-		out := make([]gluon.Transport, faultGridHosts)
+		out := make([]gluon.Transport, hosts)
 		for h := range out {
 			out[h] = tr
 		}
 		return out, func() { tr.Close() }, nil
 	case "tcp":
-		trs, err := gluon.NewTCPClusterOpts(faultGridHosts, gluon.TCPOptions{
+		trs, err := gluon.NewTCPClusterOpts(hosts, gluon.TCPOptions{
 			HeartbeatInterval: 20 * time.Millisecond,
 			PeerLossGrace:     100 * time.Millisecond,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		out := make([]gluon.Transport, faultGridHosts)
+		out := make([]gluon.Transport, hosts)
 		for h := range out {
 			out[h] = trs[h]
 		}
@@ -363,10 +364,10 @@ func faultGridTransports(kind string) ([]gluon.Transport, func(), error) {
 // clusterRun drives all ranks of one cluster attempt concurrently and
 // returns the per-rank results and errors.
 func clusterRun(w *faultWorkload, cfg core.Config, trs []gluon.Transport, mkOpts func(rank int) core.RunOptions) ([]*core.DistributedResult, []error) {
-	results := make([]*core.DistributedResult, faultGridHosts)
-	errs := make([]error, faultGridHosts)
+	results := make([]*core.DistributedResult, cfg.Hosts)
+	errs := make([]error, cfg.Hosts)
 	var wg sync.WaitGroup
-	for h := 0; h < faultGridHosts; h++ {
+	for h := 0; h < cfg.Hosts; h++ {
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
@@ -402,7 +403,7 @@ func runFaultCell(w *faultWorkload, c FaultCase, refHash string, dir string) (Fa
 	// The faulted run: the victim (rank 1 — a non-root rank, so the
 	// negotiation's coordinator survives) dies at the kill point; every
 	// rank must surface an error rather than hang.
-	trs, closeAll, err := faultGridTransports(c.Transport)
+	trs, closeAll, err := faultGridTransports(c.Transport, faultGridHosts)
 	if err != nil {
 		return row, err
 	}
@@ -436,7 +437,7 @@ func runFaultCell(w *faultWorkload, c FaultCase, refHash string, dir string) (Fa
 	// The resume run: a fresh mesh over fresh transports, every rank
 	// asking to resume. The cluster must agree on a checkpointed round
 	// > 0 and finish byte-identical to the uninterrupted reference.
-	trs, closeAll, err = faultGridTransports(c.Transport)
+	trs, closeAll, err = faultGridTransports(c.Transport, faultGridHosts)
 	if err != nil {
 		return row, err
 	}
@@ -480,7 +481,7 @@ func FaultGrid(opts Options, cases []FaultCase) ([]FaultGridRow, error) {
 		if h, ok := refs[key]; ok {
 			return h, nil
 		}
-		trs, closeAll, err := faultGridTransports("sim")
+		trs, closeAll, err := faultGridTransports("sim", faultGridHosts)
 		if err != nil {
 			return "", err
 		}
