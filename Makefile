@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-portable test-sync-race bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke membership-smoke cross-arm64 vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable test-sync-race overlap-smoke bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke membership-smoke cross-arm64 vet fmt-check fmt docs-check
 
 all: fmt-check vet docs-check build test-short test-sync-race test-portable cross-arm64
 
@@ -30,10 +30,20 @@ test-portable:
 test-sync-race:
 	$(GO) test -race -count=2 -run 'TestSync|TestAccumulatorConcurrent' ./internal/gluon/ ./internal/combine/
 
+# Overlap-pipeline lane: the double-buffered BSP step (DESIGN.md §12)
+# must be invisible in the trained bits — the pinned-hash identity
+# diagonal (modes × codecs × transports against the serialized seed
+# hashes) plus the free-running out-of-phase TCP cluster, under the
+# race detector (mirrored as a CI step).
+overlap-smoke:
+	$(GO) test -race -count=1 -short -run 'TestOverlapBitIdentityPinned|TestOverlapTCPFreeRunning' ./internal/harness/
+	$(GO) test -race -count=1 -run 'TestRunOverlapBitIdentical' ./internal/core/
+
 # One-iteration benchmark run: keeps every benchmark executable.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/vecmath/ ./internal/sgns/
 	$(GO) test -run '^$$' -bench 'BenchmarkSyncRound' -benchtime=1x ./internal/gluon/
+	$(GO) test -run '^$$' -bench 'BenchmarkSyncRoundOverlap' -benchtime=1x ./internal/core/
 
 # One-epoch sync-latency run on a reduced grid: keeps the experiment
 # executable end-to-end (mirrored as a CI step, like the throughput

@@ -38,6 +38,10 @@ func main() {
 		threads    = flag.Int("threads", 1, "Hogwild threads (per host)")
 		syncRounds = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
 		comm       = cliutil.RegisterComm(flag.CommandLine, "")
+		perf       = cliutil.RegisterPerf(flag.CommandLine)
+		sgnsTier   = flag.String("sgns", "pairwise",
+			"shared-memory SGNS schedule: pairwise (word2vec.c Hogwild), or batched (Gensim-style jobs whose pair groups share one negative-sample set and score through GEMM kernels; lossy-but-deterministic like -wire fp16 — a coarser SGD schedule, but the same seed always yields the same model, independent of -threads)")
+		sgnsWindow = flag.Int("sgns-window", 8, "batched SGNS tier: pairs per shared-negative GEMM group")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		profiles   = cliutil.RegisterProfiles(flag.CommandLine)
 	)
@@ -89,6 +93,13 @@ func main() {
 		fatal(err)
 	}
 
+	if *sgnsTier != "pairwise" && *sgnsTier != "batched" {
+		fatal(fmt.Errorf("unknown -sgns schedule %q (want pairwise or batched)", *sgnsTier))
+	}
+	if *sgnsTier == "batched" && *hosts > 1 {
+		fatal("-sgns batched is the shared-memory tier; distributed hosts train pairwise (use -hosts 1)")
+	}
+
 	params := sgns.Params{Window: *window, Negatives: *negatives, MaxSentenceLength: 10000}
 	start := time.Now()
 	var trained *model.Model
@@ -99,12 +110,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		st := tr.TrainHogwild(corp.Tokens, sgns.HogwildConfig{
-			Threads: *threads,
-			Epochs:  *epochs,
-			Alpha:   float32(*alpha),
-			Seed:    *seed,
-		})
+		var st sgns.Stats
+		if *sgnsTier == "batched" {
+			st = tr.TrainBatched(corp.Tokens, sgns.BatchedConfig{
+				Threads:         *threads,
+				Epochs:          *epochs,
+				Alpha:           float32(*alpha),
+				Seed:            *seed,
+				SharedNegWindow: *sgnsWindow,
+			})
+		} else {
+			st = tr.TrainHogwild(corp.Tokens, sgns.HogwildConfig{
+				Threads: *threads,
+				Epochs:  *epochs,
+				Alpha:   float32(*alpha),
+				Seed:    *seed,
+			})
+		}
 		fmt.Printf("trained %d pairs in %s\n", st.Pairs, time.Since(start).Round(time.Millisecond))
 		trained = m
 	} else {
@@ -121,6 +143,7 @@ func main() {
 		cfg.Wire = wire
 		cfg.Seed = *seed
 		cfg.ThreadsPerHost = *threads
+		cfg.SyncOverlap = perf.SyncOverlap
 		if *syncRounds > 0 {
 			cfg.SyncRounds = *syncRounds
 		}

@@ -47,6 +47,7 @@ func main() {
 		walkLen   = flag.Int("walk-length", 0, "vertices per walk (0 = default)")
 		walksPer  = flag.Int("walks-per-vertex", 0, "walks per start vertex per epoch (0 = default)")
 		comm      = cliutil.RegisterComm(flag.CommandLine, "")
+		perf      = cliutil.RegisterPerf(flag.CommandLine)
 		seed      = flag.Uint64("seed", 1, "random seed")
 		neighbors = flag.String("neighbors", "", "print the nearest neighbours of this vertex after training")
 		k         = flag.Int("k", 10, "neighbour count for -neighbors")
@@ -94,6 +95,7 @@ func main() {
 	cfg.Mode = mode
 	cfg.Wire = wire
 	cfg.Seed = *seed
+	cfg.SyncOverlap = perf.SyncOverlap
 
 	start := time.Now()
 	tr, err := core.NewTrainer(cfg, voc, neg, walker, *dim)

@@ -81,6 +81,7 @@ func main() {
 		threads     = flag.Int("threads", 1, "Hogwild threads on this host (>1 sacrifices bit-determinism)")
 		syncRounds  = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
 		commFlags   = cliutil.RegisterComm(flag.CommandLine, ", identical on every rank")
+		perfFlags   = cliutil.RegisterPerf(flag.CommandLine)
 		seed        = flag.Uint64("seed", 1, "random seed (identical on every rank)")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers during bootstrap")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
@@ -198,6 +199,7 @@ func main() {
 	cfg.Wire = wire
 	cfg.Seed = *seed
 	cfg.ThreadsPerHost = *threads
+	cfg.SyncOverlap = perfFlags.SyncOverlap
 	if *syncRounds > 0 {
 		cfg.SyncRounds = *syncRounds
 	}

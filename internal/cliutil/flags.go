@@ -54,6 +54,23 @@ func (c *CommFlags) Resolve() (gluon.Mode, gluon.Codec, error) {
 	return mode, wire, nil
 }
 
+// PerfFlags holds the per-host performance knobs after parsing —
+// settings that change only when work happens, never what is computed.
+// Like core.Config.SyncWorkers they are excluded from the cluster
+// checksum, so ranks of one cluster may legitimately disagree.
+type PerfFlags struct {
+	// SyncOverlap double-buffers the BSP step (DESIGN.md §12).
+	SyncOverlap bool
+}
+
+// RegisterPerf installs the canonical -sync-overlap flag on fs.
+func RegisterPerf(fs *flag.FlagSet) *PerfFlags {
+	p := &PerfFlags{}
+	fs.BoolVar(&p.SyncOverlap, "sync-overlap", false,
+		"double-buffer the BSP step: run each synchronisation round on a background goroutine while the next round's compute starts on rows the round has already finalised, blocking per node until finality; bit-identical to serialized rounds, so this per-host knob may differ between ranks (DESIGN.md §12)")
+	return p
+}
+
 // ProfileFlags holds the pprof output paths after parsing.
 type ProfileFlags struct {
 	CPU string

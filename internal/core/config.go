@@ -56,6 +56,17 @@ type Config struct {
 	// this knob is excluded from the cluster checksum and may even
 	// differ between hosts of one cluster.
 	SyncWorkers int
+	// SyncOverlap double-buffers the BSP step (DESIGN.md §12): each
+	// synchronisation round runs on a background goroutine while the
+	// next round's compute starts on the rows the round has already
+	// finalised, blocking per node until finality. The fold order and
+	// every RNG stream are unchanged — overlapped runs are bit-identical
+	// to serialized ones — so like SyncWorkers this is a per-host
+	// performance knob, excluded from the cluster checksum; hosts
+	// without it simply discard the touched announcements. Capped at 64
+	// hosts (gluon.SetSyncOverlap); larger clusters fall back to
+	// serialized rounds.
+	SyncOverlap bool
 	// Params are the Skip-Gram hyper-parameters.
 	Params sgns.Params
 	// CombinerName selects the reduction operator: "MC" (the paper's

@@ -58,6 +58,17 @@ type Engine struct {
 	touched *bitset.Bitset
 	access  *bitset.Bitset
 
+	// Compute/sync overlap state (DESIGN.md §12). touchedNext is the
+	// second half of the double buffer: while an in-flight sync reads
+	// touched (round r), the gated compute of round r+1 records into
+	// touchedNext; syncFinishRound swaps them. gates hold one
+	// sgns.NodeGate per compute thread.
+	touchedNext    *bitset.Bitset
+	gates          []*overlapGate
+	syncStartDur   float64
+	gateBlocked    float64
+	overlapSeconds float64
+
 	// Per-thread compute-round state, allocated once and reused every
 	// round so the steady-state round loop is allocation-free
 	// (TestComputeRoundZeroAllocs): scratch buffers, touched-set and
@@ -198,6 +209,7 @@ var (
 	computeLabels = pprof.Labels("gw2v_phase", "compute")
 	inspectLabels = pprof.Labels("gw2v_phase", "inspect")
 	syncLabels    = pprof.Labels("gw2v_phase", "sync")
+	overlapLabels = pprof.Labels("gw2v_phase", "overlap")
 )
 
 // validateInputs checks the data a training run needs, shared by
@@ -305,6 +317,13 @@ func newEngine(cfg Config, host int, tr gluon.Transport, voc *vocab.Vocabulary, 
 		e.rands[th] = xrand.New(0)
 		e.perThread[th] = bitset.New(voc.Size())
 	}
+	if cfg.SyncOverlap && hs.SetSyncOverlap(true) {
+		e.touchedNext = bitset.New(voc.Size())
+		e.gates = make([]*overlapGate, threads)
+		for th := 0; th < threads; th++ {
+			e.gates[th] = newOverlapGate(e)
+		}
+	}
 	return e, nil
 }
 
@@ -329,11 +348,22 @@ type EngineResult struct {
 	Train sgns.Stats
 	// Comm is the traffic this host sent over the run.
 	Comm gluon.Stats
-	// ComputeSeconds is the host's total measured compute time.
+	// ComputeSeconds is the host's total measured compute time. Gated
+	// overlap compute counts only its productive portion here; time a
+	// compute thread spent blocked on a row that was not yet final is
+	// charged to SyncSeconds instead.
 	ComputeSeconds float64
-	// SyncSeconds is the host's total measured synchronisation wall
-	// time (the blocking Sync calls, including peer wait).
+	// SyncSeconds is the host's total CRITICAL-PATH synchronisation
+	// time: for serialized rounds the blocking Sync call (including
+	// peer wait); for overlapped rounds SyncStart + the longest time
+	// any compute thread spent gate-blocked + SyncFinish. The window a
+	// sync round spent hidden behind useful compute is excluded and
+	// reported in OverlapSeconds.
 	SyncSeconds float64
+	// OverlapSeconds is the total synchronisation time hidden behind
+	// the next round's compute — the part of each overlapped round's
+	// wall time that did NOT extend the critical path.
+	OverlapSeconds float64
 	// Paused reports that the run stopped at a StopAfterRound boundary
 	// instead of completing every epoch. Train then counts only the
 	// fully finished epochs; the partial epoch's counters live in the
@@ -352,6 +382,10 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 	res.Train = e.totalStats
 	ctx := context.Background()
 	globalRound := uint32(0)
+	// computedNext marks that the current round's compute already ran,
+	// gated, during the previous round's overlapped sync; its timings
+	// are still in computeSeconds.
+	computedNext := false
 	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
 		if endRound := globalRound + uint32(e.cfg.SyncRounds); endRound <= e.startRound {
 			// The snapshot covers this whole epoch; its counters are
@@ -360,7 +394,7 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 			continue
 		}
 		alpha := e.cfg.alphaForEpoch(epoch)
-		var epochCompute, epochSync float64
+		var epochCompute, epochSync, epochOverlap float64
 		for round := 0; round < e.cfg.SyncRounds; round++ {
 			if globalRound < e.startRound {
 				// Covered by the snapshot: its effects on the model,
@@ -373,14 +407,19 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 				// this round: the checkpoint cut here (end of the
 				// previous iteration) is what a grown cluster resumes
 				// from. A restored engine whose startRound already
-				// reaches stopAfter executes nothing.
+				// reaches stopAfter executes nothing. (Overlap never
+				// computes into a stop round — see overlapNextOK.)
 				res.Paused = true
 				res.Local = e.local
 				return res, nil
 			}
-			pprof.Do(ctx, computeLabels, func(context.Context) {
-				e.computeRound(epoch, round, alpha)
-			})
+			if computedNext {
+				computedNext = false
+			} else {
+				pprof.Do(ctx, computeLabels, func(context.Context) {
+					e.computeRound(epoch, round, alpha)
+				})
+			}
 			epochCompute += e.computeSeconds
 			if e.cfg.Mode == gluon.PullModel {
 				pprof.Do(ctx, inspectLabels, func(context.Context) {
@@ -388,13 +427,33 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 				})
 			}
 			var err error
-			pprof.Do(ctx, syncLabels, func(context.Context) {
-				err = e.syncRound(globalRound)
-			})
+			if e.overlapNextOK(round, globalRound) {
+				// Double-buffered round: launch sync(r) in the
+				// background, run round r+1's compute gated on its
+				// progress, then join. Same fold order, same RNG
+				// streams — bit-identical to the serialized path.
+				pprof.Do(ctx, syncLabels, func(context.Context) {
+					err = e.syncStartRound(globalRound)
+				})
+				if err == nil {
+					pprof.Do(ctx, overlapLabels, func(context.Context) {
+						e.computeRoundGated(epoch, round+1, alpha)
+					})
+					pprof.Do(ctx, syncLabels, func(context.Context) {
+						err = e.syncFinishRound()
+					})
+					computedNext = true
+				}
+			} else {
+				pprof.Do(ctx, syncLabels, func(context.Context) {
+					err = e.syncRound(globalRound)
+				})
+			}
 			if err != nil {
 				return nil, fmt.Errorf("core: host %d epoch %d round %d: %w", e.host, epoch, round, err)
 			}
 			epochSync += e.syncSeconds
+			epochOverlap += e.overlapSeconds
 			globalRound++
 			if err := e.maybeCheckpoint(globalRound); err != nil {
 				return nil, err
@@ -405,6 +464,7 @@ func (e *Engine) Run(onEpoch func(epoch int, alpha float32, train sgns.Stats, co
 		res.Comm.Add(comm)
 		res.ComputeSeconds += epochCompute
 		res.SyncSeconds += epochSync
+		res.OverlapSeconds += epochOverlap
 		if onEpoch != nil {
 			onEpoch(epoch, alpha, train, comm)
 		}
@@ -480,7 +540,105 @@ func (e *Engine) syncRound(round uint32) error {
 	start := time.Now()
 	err := e.sync.Sync(round, e.local, e.base, e.touched, e.access)
 	e.syncSeconds = time.Since(start).Seconds()
+	e.overlapSeconds = 0
 	return err
+}
+
+// overlapNextOK reports whether round (at global index globalRound) may
+// run its synchronisation overlapped with the NEXT round's compute.
+// Overlap needs a next round in the same epoch (alpha and the epoch
+// accounting change at the boundary), and must not compute into a round
+// whose preceding boundary is a checkpoint or stop cut — the snapshot
+// there has to capture a model without round+1's updates.
+func (e *Engine) overlapNextOK(round int, globalRound uint32) bool {
+	if !e.sync.SyncOverlap() || round+1 >= e.cfg.SyncRounds {
+		return false
+	}
+	if e.stopAfter > 0 && globalRound+1 >= e.stopAfter {
+		return false
+	}
+	if e.ckpt != nil && (globalRound+1)%uint32(e.ckptEvery) == 0 {
+		return false
+	}
+	return true
+}
+
+// syncStartRound launches this round's synchronisation on a background
+// goroutine (gluon.HostSync.SyncStart) and records the launch cost.
+func (e *Engine) syncStartRound(round uint32) error {
+	start := time.Now()
+	err := e.sync.SyncStart(round, e.local, e.base, e.touched, e.access)
+	e.syncStartDur = time.Since(start).Seconds()
+	return err
+}
+
+// syncFinishRound joins the in-flight round and composes the overlapped
+// round's critical-path sync time: launch + the longest any compute
+// thread was gate-blocked + the join. It then swaps the touched double
+// buffer so the next round's set (written gated) becomes current.
+func (e *Engine) syncFinishRound() error {
+	start := time.Now()
+	err := e.sync.SyncFinish()
+	finishDur := time.Since(start).Seconds()
+	e.syncSeconds = e.syncStartDur + e.gateBlocked + finishDur
+	e.touched, e.touchedNext = e.touchedNext, e.touched
+	return err
+}
+
+// computeRoundGated is computeRound for the round AFTER an in-flight
+// overlapped sync: identical chunking, seeding and update order, but
+// every row access first passes the per-thread overlapGate, and the
+// touched set lands in touchedNext (the in-flight sync owns touched).
+// computeSeconds records only the productive portion; the gate-blocked
+// remainder is charged to the sync critical path, and the productive
+// portion is also the round's overlapSeconds (sync time hidden behind
+// it).
+func (e *Engine) computeRoundGated(epoch, round int, alpha float32) {
+	chunk := e.roundChunk(epoch, round)
+	e.touchedNext.Reset()
+	var blocked time.Duration
+	start := time.Now()
+	if e.cfg.ThreadsPerHost == 1 {
+		g := e.gates[0]
+		g.resetRound()
+		r := e.rands[0]
+		r.Reseed(e.computeSeed(epoch, round, 0))
+		e.trainer.TrainTokensGated(chunk, alpha, r, e.touchedNext, &e.stats, e.scratches[0], g)
+		blocked = g.blocked
+	} else {
+		threads := e.cfg.ThreadsPerHost
+		var wg sync.WaitGroup
+		for th := 0; th < threads; th++ {
+			lo := len(chunk) * th / threads
+			hi := len(chunk) * (th + 1) / threads
+			e.perThread[th].Reset()
+			e.perStats[th] = sgns.Stats{}
+			e.gates[th].resetRound()
+			wg.Add(1)
+			go func(th, lo, hi int) {
+				defer wg.Done()
+				r := e.rands[th]
+				r.Reseed(e.computeSeed(epoch, round, th))
+				e.trainer.TrainTokensGated(chunk[lo:hi], alpha, r, e.perThread[th], &e.perStats[th], e.scratches[th], e.gates[th])
+			}(th, lo, hi)
+		}
+		wg.Wait()
+		for th := 0; th < threads; th++ {
+			e.touchedNext.Or(e.perThread[th])
+			e.stats.Add(e.perStats[th])
+			if e.gates[th].blocked > blocked {
+				blocked = e.gates[th].blocked
+			}
+		}
+	}
+	wall := time.Since(start).Seconds()
+	b := blocked.Seconds()
+	if b > wall {
+		b = wall
+	}
+	e.computeSeconds = wall - b
+	e.gateBlocked = b
+	e.overlapSeconds = wall - b
 }
 
 // finishEpoch returns this host's training counters and communication

@@ -25,13 +25,18 @@ type EpochResult struct {
 	// CriticalComputeSeconds sums, over the epoch's rounds, the maximum
 	// per-host compute time of that round — the BSP critical path.
 	CriticalComputeSeconds float64
-	// SyncSeconds[h] is the wall time host h spent blocked in
-	// synchronisation rounds this epoch (encode, transport, decode,
-	// combine, and waiting for peers).
+	// SyncSeconds[h] is the critical-path time host h spent on
+	// synchronisation rounds this epoch: for serialized rounds the
+	// blocking Sync wall time (encode, transport, decode, combine, and
+	// waiting for peers); for overlapped rounds only the part that
+	// extended the critical path (launch + gate-blocked + join).
 	SyncSeconds []float64
 	// CriticalSyncSeconds sums, over the epoch's rounds, the maximum
 	// per-host sync time of that round.
 	CriticalSyncSeconds float64
+	// OverlapSeconds[h] is the sync time host h hid behind the next
+	// round's compute this epoch (zero when Config.SyncOverlap is off).
+	OverlapSeconds []float64
 	// Comm aggregates all hosts' communication counters for the epoch.
 	Comm gluon.Stats
 	// Train aggregates the epoch's SGNS counters across hosts.
@@ -54,12 +59,16 @@ type Result struct {
 	ComputeSeconds []float64
 	// CriticalComputeSeconds is the run's BSP compute critical path.
 	CriticalComputeSeconds float64
-	// SyncSeconds[h] is host h's total measured synchronisation wall
-	// time.
+	// SyncSeconds[h] is host h's total critical-path synchronisation
+	// time (overlapped rounds count only their non-hidden part — see
+	// EpochResult.SyncSeconds).
 	SyncSeconds []float64
 	// CriticalSyncSeconds is the run's synchronisation critical path:
 	// the sum over rounds of the slowest host's sync time.
 	CriticalSyncSeconds float64
+	// OverlapSeconds[h] is host h's total sync time hidden behind
+	// overlapped compute (zero when Config.SyncOverlap is off).
+	OverlapSeconds []float64
 }
 
 // CommSeconds returns the modelled communication time of the run: traffic

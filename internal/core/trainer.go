@@ -99,7 +99,11 @@ func (t *Trainer) Run() (*Result, error) {
 		Hosts:          cfg.Hosts,
 		ComputeSeconds: make([]float64, cfg.Hosts),
 		SyncSeconds:    make([]float64, cfg.Hosts),
+		OverlapSeconds: make([]float64, cfg.Hosts),
 	}
+	// overlap is effective only if every engine's HostSync accepted it
+	// (it caps at 64 hosts); engines agree since they share cfg.
+	overlap := cfg.SyncOverlap && cfg.Hosts > 0 && engines[0].sync.SyncOverlap()
 	globalRound := uint32(0)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		alpha := cfg.alphaForEpoch(epoch)
@@ -108,11 +112,20 @@ func (t *Trainer) Run() (*Result, error) {
 			Alpha:          alpha,
 			ComputeSeconds: make([]float64, cfg.Hosts),
 			SyncSeconds:    make([]float64, cfg.Hosts),
+			OverlapSeconds: make([]float64, cfg.Hosts),
 		}
 
+		// computedNext: the round's compute already ran, gated, during
+		// the previous round's overlapped sync (never across epochs —
+		// overlap requires a next round in the same epoch).
+		computedNext := false
 		for round := 0; round < cfg.SyncRounds; round++ {
 			// Compute phase (Algorithm 1 line 9).
-			t.computePhase(engines, epoch, round, alpha)
+			if computedNext {
+				computedNext = false
+			} else {
+				t.computePhase(engines, epoch, round, alpha)
+			}
 			var roundMax float64
 			for _, e := range engines {
 				if e.computeSeconds > roundMax {
@@ -127,8 +140,14 @@ func (t *Trainer) Run() (*Result, error) {
 				t.inspectPhase(engines, epoch, round)
 			}
 
-			// Synchronisation phase (Algorithm 1 line 10).
-			if err := t.syncPhase(engines, globalRound); err != nil {
+			// Synchronisation phase (Algorithm 1 line 10) — overlapped
+			// with round+1's gated compute when there is one.
+			if overlap && round+1 < cfg.SyncRounds {
+				if err := t.overlapPhase(engines, epoch, round, alpha, globalRound); err != nil {
+					return nil, err
+				}
+				computedNext = true
+			} else if err := t.syncPhase(engines, globalRound); err != nil {
 				return nil, err
 			}
 			roundMax = 0
@@ -137,6 +156,7 @@ func (t *Trainer) Run() (*Result, error) {
 					roundMax = e.syncSeconds
 				}
 				er.SyncSeconds[e.host] += e.syncSeconds
+				er.OverlapSeconds[e.host] += e.overlapSeconds
 			}
 			er.CriticalSyncSeconds += roundMax
 			globalRound++
@@ -149,6 +169,7 @@ func (t *Trainer) Run() (*Result, error) {
 			er.Comm.Add(comm)
 			res.ComputeSeconds[e.host] += er.ComputeSeconds[e.host]
 			res.SyncSeconds[e.host] += er.SyncSeconds[e.host]
+			res.OverlapSeconds[e.host] += er.OverlapSeconds[e.host]
 		}
 		res.CriticalComputeSeconds += er.CriticalComputeSeconds
 		res.CriticalSyncSeconds += er.CriticalSyncSeconds
@@ -201,6 +222,68 @@ func (t *Trainer) inspectPhase(engines []*Engine, epoch, round int) {
 		}
 		wg.Wait()
 	})
+}
+
+// overlapPhase runs one double-buffered BSP step on every host: all
+// hosts launch sync(round) on background goroutines, run round+1's
+// gated compute concurrently with them, then join. Each engine records
+// its critical-path sync time (launch + gate-blocked + join) in
+// syncSeconds, the hidden window in overlapSeconds, and round+1's
+// productive compute in computeSeconds, exactly as the free-running
+// Engine.Run does. SequentialCompute applies to the gated computes just
+// as it does to plain compute phases — it is deadlock-free because
+// every host's background sync is already in flight before the first
+// gated compute starts, so a sequential host's gate progresses as its
+// peers' background goroutines serve their rounds — and it matters for
+// the same reason: gate-blocked time is a per-host critical-path
+// measurement, and concurrent gated computes contending for cores
+// starve the background syncs and inflate it.
+func (t *Trainer) overlapPhase(engines []*Engine, epoch, round int, alpha float32, globalRound uint32) error {
+	errs := make([]error, len(engines))
+	pprof.Do(context.Background(), syncLabels, func(context.Context) {
+		for i, e := range engines {
+			errs[i] = e.syncStartRound(globalRound)
+		}
+	})
+	for h, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: host %d sync start: %w", h, err)
+		}
+	}
+	pprof.Do(context.Background(), overlapLabels, func(context.Context) {
+		if t.SequentialCompute {
+			for _, e := range engines {
+				e.computeRoundGated(epoch, round+1, alpha)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, e := range engines {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.computeRoundGated(epoch, round+1, alpha)
+			}(e)
+		}
+		wg.Wait()
+	})
+	pprof.Do(context.Background(), syncLabels, func(context.Context) {
+		var wg sync.WaitGroup
+		for i, e := range engines {
+			wg.Add(1)
+			go func(i int, e *Engine) {
+				defer wg.Done()
+				errs[i] = e.syncFinishRound()
+			}(i, e)
+		}
+		wg.Wait()
+	})
+	for h, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: host %d sync finish: %w", h, err)
+		}
+	}
+	return nil
 }
 
 // syncPhase runs the bulk-synchronous model synchronisation concurrently

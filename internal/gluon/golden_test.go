@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"graphword2vec/internal/bitset"
 )
 
 // The wire-compat golden test: every frame kind is encoded from fixed
@@ -45,6 +47,16 @@ func goldenVec(n int32, dst []float32) {
 	}
 }
 
+// goldenTouchedFrame pins the overlap touched announcement (v5): a
+// 17-node vocabulary with nodes 1, 8 and 16 touched, round 5.
+func goldenTouchedFrame() []byte {
+	touched := bitset.New(17)
+	touched.Set(1)
+	touched.Set(8)
+	touched.Set(16)
+	return appendTouchedMessage(nil, 5, touched)
+}
+
 // goldenFrames builds every pinned frame from fixed inputs.
 func goldenFrames(t *testing.T) map[string][]byte {
 	t.Helper()
@@ -71,6 +83,7 @@ func goldenFrames(t *testing.T) map[string][]byte {
 		}),
 		"barrier":         barrierMessage(9),
 		"access":          accessMessage(2, 3, 17, func(i int) bool { return i == 4 || i == 9 || i == 16 }),
+		"touched":         goldenTouchedFrame(),
 		"heartbeat":       heartbeatMessage(),
 		"resume-offer":    resumeMessage(resumeOffer, []uint32{0, 6, 12}),
 		"resume-decision": resumeMessage(resumeDecision, []uint32{6}),
@@ -124,7 +137,7 @@ func TestWireGolden(t *testing.T) {
 
 	if *updateGolden {
 		var sb strings.Builder
-		sb.WriteString("# Golden wire frames, protocol version 4 (PROTOCOL.md).\n")
+		sb.WriteString("# Golden wire frames, protocol version 5 (PROTOCOL.md).\n")
 		sb.WriteString("# Regenerate ONLY on a deliberate, version-bumped format change:\n")
 		sb.WriteString("#   go test ./internal/gluon -run TestWireGolden -update-golden\n")
 		names := make([]string, 0, len(frames))
@@ -272,6 +285,24 @@ func TestWireGoldenDecodes(t *testing.T) {
 	}
 	if len(accessed) != 3 || accessed[0] != 4 || accessed[1] != 9 || accessed[2] != 16 {
 		t.Fatalf("access nodes = %v", accessed)
+	}
+
+	// Touched frame (protocol v5): same bitmap payload as access, kind
+	// and round distinguish it; it must round-trip through the bitset
+	// merge path the overlap engine uses.
+	kind, round, _, err := parseHeader(lookup["touched"])
+	if err != nil || kind != kindTouched || round != 5 {
+		t.Fatalf("touched header = (%d, %d, %v)", kind, round, err)
+	}
+	union := bitset.New(17)
+	if err := parseAccessInto(lookup["touched"], union); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		want := i == 1 || i == 8 || i == 16
+		if union.Get(i) != want {
+			t.Fatalf("touched bit %d = %v, want %v", i, union.Get(i), want)
+		}
 	}
 
 	// Heartbeat and resume frames (protocol v3).

@@ -170,6 +170,7 @@ type HostSync struct {
 	curLocal   *model.Model
 	curBase    *model.Model
 	curTouched *bitset.Bitset
+	curAccess  *bitset.Bitset
 	curRound   uint32
 
 	// Reusable scratch: own-delta extraction, the combine fold output,
@@ -178,6 +179,26 @@ type HostSync struct {
 	scratch      []float32
 	combScratch  []float32
 	ownedTouched []int32
+
+	// Overlapped-round state (overlap.go). overlapConfigured is the
+	// SetSyncOverlap knob; overlapRound marks the round in flight as an
+	// overlapped one (announcements sent, events posted); inFlight
+	// guards the SyncStart/SyncFinish pairing. unionTouched accumulates
+	// every host's announced touched set for the current overlapped
+	// round (RepModel-Opt), annRemaining counts the outstanding
+	// announcements, and touchedBuf is the reused announcement frame —
+	// its reuse across rounds is safe by the same BSP argument as the
+	// other frame buffers: a peer consumes our round-r announcement
+	// before it can emit the round-r traffic our SyncFinish waits for.
+	overlapConfigured bool
+	overlapRound      bool
+	inFlight          bool
+	annRemaining      int
+	unionTouched      *bitset.Bitset
+	touchedBuf        []byte
+	progress          SyncProgress
+	roundCh           chan error
+	goRound           func()
 
 	// Shared broadcast frame for the RepModel schemes, where the frame
 	// is identical for every peer: encoded once, sent n−1 times — plus
@@ -235,12 +256,13 @@ type peerState struct {
 
 	// Decode: per-sender scratch and prebuilt frame sinks, plus the
 	// payload handed to the worker and per-round dedup flags.
-	dec       decodeScratch
-	decReduce func(node int32, half byte, vec []float32) error
-	decBcast  func(node int32, half byte, vec []float32) error
-	payload   []byte
-	gotReduce bool
-	gotBcast  bool
+	dec        decodeScratch
+	decReduce  func(node int32, half byte, vec []float32) error
+	decBcast   func(node int32, half byte, vec []float32) error
+	payload    []byte
+	gotReduce  bool
+	gotBcast   bool
+	gotTouched bool
 
 	// Prebuilt zero-argument spawn thunks: `go f(args)` heap-allocates a
 	// closure per call since Go 1.17, `go thunk()` does not — and these
@@ -445,28 +467,96 @@ func (hs *HostSync) frameFlags(kind byte) byte {
 // for, and the canonical (master) values incorporate every host's deltas
 // via the reduction operator.
 func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset.Bitset, nextAccess *bitset.Bitset) error {
+	if err := hs.prepRound(round, local, base, touched, nextAccess, false); err != nil {
+		return err
+	}
+	return hs.runRound()
+}
+
+// prepRound validates and stages one round's inputs: the shared cur*
+// fields the prebuilt closures read, per-peer dedup flags and error
+// slots, and — for an overlapped round — the progress tracker, the
+// union touched set (seeded with our own touched set) and any buffered
+// touched announcements from peers that raced ahead. Runs on the
+// caller's goroutine, before any round worker exists.
+func (hs *HostSync) prepRound(round uint32, local, base *model.Model, touched *bitset.Bitset, nextAccess *bitset.Bitset, overlap bool) error {
 	if local.VocabSize() != hs.part.NumNodes() || base.VocabSize() != hs.part.NumNodes() {
 		return fmt.Errorf("gluon: model size %d does not match partition %d", local.VocabSize(), hs.part.NumNodes())
 	}
+	if hs.mode == PullModel && nextAccess == nil {
+		return fmt.Errorf("gluon: PullModel requires a nextAccess set")
+	}
 	hs.stats.Rounds++
 	hs.curLocal, hs.curBase, hs.curTouched, hs.curRound = local, base, touched, round
-	h := hs.host
-	nHosts := hs.part.NumHosts()
+	hs.curAccess = nextAccess
+	hs.overlapRound = overlap
 	for g := range hs.peers {
 		p := &hs.peers[g]
-		p.gotReduce, p.gotBcast = false, false
+		p.gotReduce, p.gotBcast, p.gotTouched = false, false, false
 		p.sentMsgs = 0
 		p.sentReduceB, p.sentReduceE = 0, 0
 		p.sentBcastB, p.sentBcastE = 0, 0
 		hs.sendErrs[g], hs.decErrs[g] = nil, nil
 	}
+	if overlap {
+		hs.progress.resetRound()
+		if hs.mode == RepModelOpt {
+			hs.unionTouched.Reset()
+			hs.unionTouched.Or(touched)
+			hs.annRemaining = hs.part.NumHosts() - 1
+			if hs.annRemaining == 0 {
+				hs.progress.postAnnDone()
+			}
+		}
+	}
+	// Drain buffered touched announcements for this round: merge them
+	// into the union when overlapping, discard them when this round
+	// runs serialized (keeps the pending map bounded either way).
+	for {
+		m, ok := hs.popPending(pendingKey{kind: kindTouched, round: round})
+		if !ok {
+			break
+		}
+		if overlap && hs.mode == RepModelOpt {
+			if err := hs.mergeTouched(m.from, m.payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runRound executes one synchronisation round against the staged cur*
+// state: Sync calls it inline, SyncStart on a background goroutine. The
+// phase structure and every wire byte are identical either way; an
+// overlapped round additionally announces its touched set first and
+// posts progress events as rows become final.
+func (hs *HostSync) runRound() (err error) {
+	h := hs.host
+	nHosts := hs.part.NumHosts()
+	if hs.overlapRound {
+		// Whatever happens, unblock gated compute when the round ends:
+		// on error the engine discards the overlapped work anyway.
+		defer hs.progress.postDone()
+		if hs.mode == RepModelOpt {
+			hs.touchedBuf = appendTouchedMessage(hs.touchedBuf[:0], hs.curRound, hs.curTouched)
+			for g := 0; g < nHosts; g++ {
+				if g == h {
+					continue
+				}
+				if err := hs.send(g, hs.touchedBuf); err != nil {
+					return err
+				}
+				hs.stats.ControlBytes += int64(len(hs.touchedBuf))
+			}
+		}
+	}
+	round := hs.curRound
+	nextAccess := hs.curAccess
 
 	// Phase A: announce next round's access sets (PullModel inspection).
 	// Serial — the frames are cheap word-packed bitmaps.
 	if hs.mode == PullModel {
-		if nextAccess == nil {
-			return fmt.Errorf("gluon: PullModel requires a nextAccess set")
-		}
 		for g := 0; g < nHosts; g++ {
 			if g == h {
 				continue
@@ -526,6 +616,11 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 			nodes = hs.denseOwnRange()
 		}
 		hs.bcastBuf = appendVectorFrame(hs.bcastBuf[:0], kindBroadcast, round, hs.frameFlags(kindBroadcast), hs.dim, nodes, hs.bcastHalfAt, hs.bcastVecAt, hs.bcastVec)
+		if hs.overlapRound {
+			// Masters are canonical and the encode is done reading our
+			// rows: our own range is final for gated compute.
+			hs.progress.postOwnFinal()
+		}
 		for g := 0; g < nHosts; g++ {
 			if g == h {
 				continue
@@ -556,6 +651,11 @@ func (hs *HostSync) Sync(round uint32, local, base *model.Model, touched *bitset
 		hs.wg.Wait()
 		if err := hs.roundError(nil); err != nil {
 			return err
+		}
+		if hs.overlapRound {
+			// PullModel reads our rows per peer; final only once every
+			// per-peer encode worker has joined.
+			hs.progress.postOwnFinal()
 		}
 	}
 
@@ -685,6 +785,12 @@ func (hs *HostSync) decodeBcastWorker(g int) {
 	p := &hs.peers[g]
 	if err := decodeVectorFrameInto(p.payload, hs.dim, hs.frameFlags(kindBroadcast), &p.dec, p.decBcast); err != nil {
 		hs.decErrs[g] = err
+		return
+	}
+	if hs.overlapRound {
+		// Peer g's master range is installed in full: final for gated
+		// compute.
+		hs.progress.postInstalled(g)
 	}
 }
 
@@ -847,6 +953,15 @@ func (hs *HostSync) nextMessage(kind byte, round uint32) (int, []byte, error) {
 				return 0, nil, fmt.Errorf("gluon: unexpected access message from host %d in mode %v", from, hs.mode)
 			}
 			if err := hs.recordAccess(from, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		if k == kindTouched {
+			// Overlap announcements (PROTOCOL.md §11): merged, buffered
+			// or discarded — hosts running without overlap stay
+			// compatible with peers that announce.
+			if err := hs.acceptTouched(from, r, payload); err != nil {
 				return 0, nil, err
 			}
 			continue

@@ -34,9 +34,10 @@ const (
 	// §8); a v2 peer would misparse them, so the hello check is what
 	// keeps mixed-version meshes from forming. Version 4 added the
 	// membership and transfer frame kinds for elastic membership
-	// changes (PROTOCOL.md §10). See PROTOCOL.md §7 for the bump
-	// policy.
-	meshVersion = 4
+	// changes (PROTOCOL.md §10). Version 5 added the touched frame
+	// kind for compute/sync overlap announcements (PROTOCOL.md §11).
+	// See PROTOCOL.md §7 for the bump policy.
+	meshVersion = 5
 	// meshHelloBytes is the encoded hello size.
 	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8 + 1
 	// meshDialRetry is the pause between connection attempts while a

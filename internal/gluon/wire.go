@@ -34,7 +34,13 @@ import (
 // from its checkpoint store, the decision carries the agreed cut round
 // plus the per-range source assignment, and transfer frames (v4) are
 // vector frames migrating one departed rank's master range to the whole
-// re-sharded cluster — see PROTOCOL.md §10 and membership.go.
+// re-sharded cluster — see PROTOCOL.md §10 and membership.go. Touched
+// frames (v5) carry the sender's whole-vocabulary touched bitset for an
+// overlapped round — the same (lo, bits, packed) bitmap layout as access
+// messages with lo = 0 — so receivers can start the next round's compute
+// on nodes no host updated while the sync is still in flight
+// (PROTOCOL.md §11, overlap.go); hosts running without overlap discard
+// them, so mixed clusters stay compatible.
 const (
 	kindReduce     byte = 1
 	kindBroadcast  byte = 2
@@ -45,6 +51,7 @@ const (
 	kindResume     byte = 7
 	kindMembership byte = 8
 	kindTransfer   byte = 9
+	kindTouched    byte = 10
 
 	headerBytes = 9
 )
@@ -158,16 +165,31 @@ func accessMessage(round uint32, lo, hi int, isSet func(i int) bool) []byte {
 // pre-grown dst it allocates nothing — the sync engine reuses one
 // buffer per peer across rounds.
 func appendAccessMessage(dst []byte, round uint32, lo, hi int, acc *bitset.Bitset) []byte {
+	return appendBitmapMessage(dst, kindAccess, round, lo, hi, acc)
+}
+
+// appendTouchedMessage packs the sender's whole-vocabulary touched set
+// into an overlap announcement (kindTouched): the access-message bitmap
+// layout with lo = 0, bits = the full node range. One encode serves
+// every peer — the frame is receiver-independent.
+func appendTouchedMessage(dst []byte, round uint32, touched *bitset.Bitset) []byte {
+	return appendBitmapMessage(dst, kindTouched, round, 0, touched.Len(), touched)
+}
+
+// appendBitmapMessage is the shared bitmap-frame encoder behind access
+// and touched messages: header, then (lo uint32, bits uint32, packed
+// bytes).
+func appendBitmapMessage(dst []byte, kind byte, round uint32, lo, hi int, bs *bitset.Bitset) []byte {
 	bits := hi - lo
 	nbytes := (bits + 7) / 8
 	start := len(dst)
 	need := headerBytes + 8 + nbytes
 	dst = slices.Grow(dst, need)[:start+need]
 	frame := dst[start:]
-	putHeader(frame, kindAccess, round, uint32(1))
+	putHeader(frame, kind, round, uint32(1))
 	binary.LittleEndian.PutUint32(frame[headerBytes:], uint32(lo))
 	binary.LittleEndian.PutUint32(frame[headerBytes+4:], uint32(bits))
-	acc.PackRange(frame[headerBytes+8:need], lo, hi)
+	bs.PackRange(frame[headerBytes+8:need], lo, hi)
 	return dst
 }
 

@@ -2,10 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"text/tabwriter"
 
 	"graphword2vec/internal/core"
+	"graphword2vec/internal/corpus"
 	"graphword2vec/internal/gluon"
+	"graphword2vec/internal/vocab"
 )
 
 // The sync-latency experiment measures the synchronisation side of
@@ -17,6 +20,12 @@ import (
 // these rows pin the other half of the round so Amdahl regressions in
 // either phase are visible. Rows are recorded in BENCH_sync.json and
 // EXPERIMENTS.md.
+//
+// Each cell is run twice: serialized (the baseline columns) and with
+// Config.SyncOverlap on (DESIGN.md §12), so the overlap columns show how
+// much of the sync round the double-buffered pipeline moves off the
+// critical path — and the identity column proves the overlapped model is
+// byte-identical to its serialized twin, cell by cell.
 
 // SyncLatencyEpochs is the number of training epochs per cell; with the
 // sync-frequency rule this yields epochs × S(hosts) measured rounds.
@@ -31,9 +40,16 @@ var SyncLatencyModes = []gluon.Mode{gluon.RepModelNaive, gluon.RepModelOpt, gluo
 // SyncLatencyCodecs are the wire codecs measured.
 var SyncLatencyCodecs = []gluon.Codec{gluon.CodecRaw, gluon.CodecPacked, gluon.CodecFP16}
 
-// SyncLatencyTransports are the transports measured ("inproc" drives the
-// zero-copy in-process channels, "tcp" a real loopback socket cluster).
-var SyncLatencyTransports = []string{"inproc", "tcp"}
+// SyncLatencyTransports are the transports measured. "inproc" drives the
+// zero-copy in-process channels and "tcp" a real loopback socket
+// cluster, both in lockstep (every host enters each round together, so
+// the serialized sync column contains almost no peer wait). "tcp-free"
+// runs the same cell free-running — each engine on its own goroutine
+// over the loopback cluster, drifting out of phase exactly like the
+// multi-process deployment — so a serialized host's Sync call includes
+// the time it idles waiting for slower peers' frames, which is the part
+// of the round the overlap pipeline converts into productive compute.
+var SyncLatencyTransports = []string{"inproc", "tcp", "tcp-free"}
 
 // SyncLatencyRow is one (workload, mode, codec, hosts, transport) cell.
 type SyncLatencyRow struct {
@@ -62,6 +78,23 @@ type SyncLatencyRow struct {
 	SyncShare float64 `json:"sync_share"`
 	// BytesPerRound is the cluster-wide traffic per round.
 	BytesPerRound float64 `json:"bytes_per_round"`
+	// OverlapSyncMsPerRound is the per-round sync critical path of the
+	// same cell re-run with Config.SyncOverlap on: only the part of each
+	// sync round that could not hide behind the next round's gated
+	// compute (launch + gate-blocked + join).
+	OverlapSyncMsPerRound float64 `json:"overlap_sync_ms_per_round"`
+	// OverlapHiddenMsPerRound is the mean per-host hidden window per
+	// round: the wall time the next round's gated compute ran
+	// concurrently with the in-flight sync, i.e. the budget the round
+	// has for hiding sync off the critical path. (How much of the sync
+	// actually hides depends on how much of it is genuine wait — socket
+	// latency, slow peers — rather than CPU work contending for the
+	// same cores.)
+	OverlapHiddenMsPerRound float64 `json:"overlap_hidden_ms_per_round"`
+	// OverlapIdentical reports whether the overlapped run's canonical
+	// model was byte-identical to the serialized run's — the tentpole
+	// invariant, checked per cell.
+	OverlapIdentical bool `json:"overlap_identical"`
 }
 
 // tcpTransportFactory builds a loopback TCP cluster as a
@@ -82,10 +115,67 @@ func tcpTransportFactory(hosts int) ([]gluon.Transport, func(), error) {
 	}, nil
 }
 
-// syncLatencyWorkload is one trainable workload for the grid.
+// syncLatencyWorkload is one trainable workload for the grid. mk builds
+// a fresh lockstep trainer for the cell; free runs the cell on a
+// free-running loopback cluster instead (the "tcp-free" transport);
+// overlap selects the double-buffered BSP pipeline (each cell is
+// measured both ways).
 type syncLatencyWorkload struct {
 	name string
-	mk   func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (*core.Trainer, core.Config, error)
+	mk   func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string, overlap bool) (*core.Trainer, core.Config, error)
+	free func(hosts int, mode gluon.Mode, codec gluon.Codec, overlap bool) (*core.Result, core.Config, error)
+}
+
+// runFreeRunning executes one cell on a free-running loopback TCP
+// cluster — every engine on its own goroutine, out of phase with its
+// peers, the way RunDistributed deploys — and folds the per-host
+// EngineResults into the Result shape the lockstep trainer returns.
+// Free-running rounds have no cluster-wide barrier to time against, so
+// the critical paths are per-host run totals: the slowest host's total
+// sync (resp. compute) time.
+func runFreeRunning(cfg core.Config, voc *vocab.Vocabulary, neg *vocab.UnigramTable, src corpus.SequenceSource, dim int) (*core.Result, error) {
+	trs, err := gluon.NewTCPCluster(cfg.Hosts)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.DistributedResult, cfg.Hosts)
+	errs := make([]error, cfg.Hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < cfg.Hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			defer trs[h].Close()
+			results[h], errs[h] = core.RunDistributed(cfg, h, trs[h], voc, neg, src, dim, nil)
+		}(h)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("free-running host %d: %w", h, err)
+		}
+	}
+	res := &core.Result{
+		Hosts:          cfg.Hosts,
+		ComputeSeconds: make([]float64, cfg.Hosts),
+		SyncSeconds:    make([]float64, cfg.Hosts),
+		OverlapSeconds: make([]float64, cfg.Hosts),
+		Canonical:      results[0].Canonical,
+	}
+	for h, r := range results {
+		e := r.Engine
+		res.ComputeSeconds[h] = e.ComputeSeconds
+		res.SyncSeconds[h] = e.SyncSeconds
+		res.OverlapSeconds[h] = e.OverlapSeconds
+		if e.SyncSeconds > res.CriticalSyncSeconds {
+			res.CriticalSyncSeconds = e.SyncSeconds
+		}
+		if e.ComputeSeconds > res.CriticalComputeSeconds {
+			res.CriticalComputeSeconds = e.ComputeSeconds
+		}
+		res.Comm.Add(e.Comm)
+	}
+	return res, nil
 }
 
 // syncLatencyWorkloads materialises the text and graph workloads once
@@ -106,44 +196,102 @@ func syncLatencyWorkloads(opts Options) ([]*syncLatencyWorkload, error) {
 		}
 		return tr
 	}
+	textCfg := func(hosts int, mode gluon.Mode, codec gluon.Codec, overlap bool) core.Config {
+		cfg := distConfig(opts, hosts, core.SyncFrequencyRule(hosts), "MC", mode, opts.BaseAlpha)
+		cfg.Epochs = SyncLatencyEpochs
+		cfg.Wire = codec
+		cfg.SyncOverlap = overlap
+		return cfg
+	}
+	graphCfg := func(hosts int, mode gluon.Mode, codec gluon.Codec, overlap bool) core.Config {
+		cfg := GraphTrainConfig(opts, hosts, mode)
+		cfg.Epochs = SyncLatencyEpochs
+		cfg.Wire = codec
+		cfg.SyncOverlap = overlap
+		return cfg
+	}
 	return []*syncLatencyWorkload{
 		{
 			name: "text",
-			mk: func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (*core.Trainer, core.Config, error) {
-				cfg := distConfig(opts, hosts, core.SyncFrequencyRule(hosts), "MC", mode, opts.BaseAlpha)
-				cfg.Epochs = SyncLatencyEpochs
-				cfg.Wire = codec
+			mk: func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string, overlap bool) (*core.Trainer, core.Config, error) {
+				cfg := textCfg(hosts, mode, codec, overlap)
 				tr, err := core.NewTrainer(cfg, text.Vocab, text.Neg, text.Corp, opts.Dim)
 				if err != nil {
 					return nil, cfg, err
 				}
 				return mkTrainer(tr, transport), cfg, nil
 			},
+			free: func(hosts int, mode gluon.Mode, codec gluon.Codec, overlap bool) (*core.Result, core.Config, error) {
+				cfg := textCfg(hosts, mode, codec, overlap)
+				res, err := runFreeRunning(cfg, text.Vocab, text.Neg, text.Corp, opts.Dim)
+				return res, cfg, err
+			},
 		},
 		{
 			name: "graph",
-			mk: func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (*core.Trainer, core.Config, error) {
-				cfg := GraphTrainConfig(opts, hosts, mode)
-				cfg.Epochs = SyncLatencyEpochs
-				cfg.Wire = codec
+			mk: func(hosts int, mode gluon.Mode, codec gluon.Codec, transport string, overlap bool) (*core.Trainer, core.Config, error) {
+				cfg := graphCfg(hosts, mode, codec, overlap)
 				tr, err := core.NewTrainer(cfg, graph.Vocab, graph.Neg, graph.Walker, opts.Dim)
 				if err != nil {
 					return nil, cfg, err
 				}
 				return mkTrainer(tr, transport), cfg, nil
 			},
+			free: func(hosts int, mode gluon.Mode, codec gluon.Codec, overlap bool) (*core.Result, core.Config, error) {
+				cfg := graphCfg(hosts, mode, codec, overlap)
+				res, err := runFreeRunning(cfg, graph.Vocab, graph.Neg, graph.Walker, opts.Dim)
+				return res, cfg, err
+			},
 		},
 	}, nil
 }
 
-// measureSyncLatency runs one cell and reduces the per-phase timers to a
-// row.
-func measureSyncLatency(w *syncLatencyWorkload, hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (SyncLatencyRow, error) {
-	tr, cfg, err := w.mk(hosts, mode, codec, transport)
-	if err != nil {
-		return SyncLatencyRow{}, err
+// syncLatencyReps is how many times each cell variant is run; the
+// fastest run (by critical-path sync) is reported, the usual guard
+// against scheduler noise in sub-millisecond timings.
+var syncLatencyReps = 2
+
+// runSyncLatencyCell trains one cell variant syncLatencyReps times and
+// returns the run with the lowest critical-path sync time plus its
+// config. Every repetition's canonical model must be byte-identical —
+// the runs are deterministic — so any repetition's model stands for the
+// variant in the cross-variant identity check.
+func runSyncLatencyCell(w *syncLatencyWorkload, hosts int, mode gluon.Mode, codec gluon.Codec, transport string, overlap bool) (*core.Result, core.Config, error) {
+	var best *core.Result
+	var cfg core.Config
+	for rep := 0; rep < syncLatencyReps; rep++ {
+		var res *core.Result
+		var c core.Config
+		var err error
+		if transport == "tcp-free" {
+			res, c, err = w.free(hosts, mode, codec, overlap)
+		} else {
+			var tr *core.Trainer
+			tr, c, err = w.mk(hosts, mode, codec, transport, overlap)
+			if err == nil {
+				res, err = tr.Run()
+			}
+		}
+		if err != nil {
+			return nil, c, err
+		}
+		if best != nil && hashCanonical(res.Canonical) != hashCanonical(best.Canonical) {
+			return nil, c, fmt.Errorf("nondeterministic cell: repetition %d diverged", rep)
+		}
+		if best == nil || res.CriticalSyncSeconds < best.CriticalSyncSeconds {
+			best = res
+		}
+		cfg = c
 	}
-	res, err := tr.Run()
+	return best, cfg, nil
+}
+
+// measureSyncLatency runs one cell both ways — serialized and with the
+// double-buffered overlap pipeline — and reduces the per-phase timers to
+// a row. The two variants' canonical models are hashed and compared for
+// the per-cell bit-identity verdict.
+func measureSyncLatency(w *syncLatencyWorkload, hosts int, mode gluon.Mode, codec gluon.Codec, transport string) (SyncLatencyRow, error) {
+	res, cfg, err := runSyncLatencyCell(w, hosts, mode, codec, transport, false)
 	if err != nil {
 		return SyncLatencyRow{}, err
 	}
@@ -168,6 +316,19 @@ func measureSyncLatency(w *syncLatencyWorkload, hosts int, mode gluon.Mode, code
 	if total := res.CriticalSyncSeconds + res.CriticalComputeSeconds; total > 0 {
 		row.SyncShare = res.CriticalSyncSeconds / total
 	}
+
+	over, _, err := runSyncLatencyCell(w, hosts, mode, codec, transport, true)
+	if err != nil {
+		return SyncLatencyRow{}, fmt.Errorf("overlapped run: %w", err)
+	}
+	var hidden float64
+	for _, s := range over.OverlapSeconds {
+		hidden += s
+	}
+	hidden /= float64(hosts)
+	row.OverlapSyncMsPerRound = 1e3 * over.CriticalSyncSeconds / float64(rounds)
+	row.OverlapHiddenMsPerRound = 1e3 * hidden / float64(rounds)
+	row.OverlapIdentical = hashCanonical(res.Canonical) == hashCanonical(over.Canonical)
 	return row, nil
 }
 
@@ -201,11 +362,16 @@ func SyncLatency(opts Options) ([]SyncLatencyRow, error) {
 	tw := tabwriter.NewWriter(opts.out(), 0, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Per-round sync latency (scale=%s, %d epochs/cell, critical path over hosts)\n",
 		opts.Scale, SyncLatencyEpochs)
-	fmt.Fprintln(tw, "Workload\tHosts\tMode\tCodec\tTransport\tRounds\tSync ms/round\tCompute ms/round\tSync share\tBytes/round")
+	fmt.Fprintln(tw, "Workload\tHosts\tMode\tCodec\tTransport\tRounds\tSync ms/round\tOverlap ms/round\tHidden ms/round\tIdentical\tCompute ms/round\tSync share\tBytes/round")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%d\t%.3f\t%.3f\t%.1f%%\t%s\n",
+		ident := "yes"
+		if !r.OverlapIdentical {
+			ident = "NO"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%d\t%.3f\t%.3f\t%.3f\t%s\t%.3f\t%.1f%%\t%s\n",
 			r.Workload, r.Hosts, r.Mode, r.Codec, r.Transport, r.Rounds,
-			r.SyncMsPerRound, r.ComputeMsPerRound, 100*r.SyncShare, fmtBytes(r.BytesPerRound))
+			r.SyncMsPerRound, r.OverlapSyncMsPerRound, r.OverlapHiddenMsPerRound, ident,
+			r.ComputeMsPerRound, 100*r.SyncShare, fmtBytes(r.BytesPerRound))
 	}
 	if err := tw.Flush(); err != nil {
 		return nil, err

@@ -13,16 +13,17 @@ import (
 // per-host mean, and byte counts that match the sparse-vs-dense
 // ordering the schemes guarantee.
 func TestSyncLatencySmoke(t *testing.T) {
-	hosts, modes, codecs, transports, epochs :=
-		SyncLatencyHosts, SyncLatencyModes, SyncLatencyCodecs, SyncLatencyTransports, SyncLatencyEpochs
+	hosts, modes, codecs, transports, epochs, reps :=
+		SyncLatencyHosts, SyncLatencyModes, SyncLatencyCodecs, SyncLatencyTransports, SyncLatencyEpochs, syncLatencyReps
 	SyncLatencyHosts = []int{2}
 	SyncLatencyModes = []gluon.Mode{gluon.RepModelNaive, gluon.RepModelOpt}
 	SyncLatencyCodecs = []gluon.Codec{gluon.CodecRaw, gluon.CodecPacked}
-	SyncLatencyTransports = []string{"inproc", "tcp"}
+	SyncLatencyTransports = []string{"inproc", "tcp", "tcp-free"}
 	SyncLatencyEpochs = 1
+	syncLatencyReps = 1
 	defer func() {
-		SyncLatencyHosts, SyncLatencyModes, SyncLatencyCodecs, SyncLatencyTransports, SyncLatencyEpochs =
-			hosts, modes, codecs, transports, epochs
+		SyncLatencyHosts, SyncLatencyModes, SyncLatencyCodecs, SyncLatencyTransports, SyncLatencyEpochs, syncLatencyReps =
+			hosts, modes, codecs, transports, epochs, reps
 	}()
 
 	opts := Defaults(synth.ScaleTiny)
@@ -30,8 +31,8 @@ func TestSyncLatencySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// {text, graph} × 1 host count × 2 modes × 2 codecs × 2 transports.
-	if want := 2 * 2 * 2 * 2; len(rows) != want {
+	// {text, graph} × 1 host count × 2 modes × 2 codecs × 3 transports.
+	if want := 2 * 2 * 2 * 3; len(rows) != want {
 		t.Fatalf("rows = %d, want %d", len(rows), want)
 	}
 	type cell struct{ wl, mode, codec, tp string }
@@ -45,6 +46,12 @@ func TestSyncLatencySmoke(t *testing.T) {
 		}
 		if r.SyncShare <= 0 || r.SyncShare >= 1 {
 			t.Errorf("sync share out of (0,1): %+v", r)
+		}
+		if !r.OverlapIdentical {
+			t.Errorf("overlapped run not byte-identical to serialized: %+v", r)
+		}
+		if r.OverlapSyncMsPerRound <= 0 || r.OverlapHiddenMsPerRound <= 0 {
+			t.Errorf("degenerate overlap columns: %+v", r)
 		}
 		byCell[cell{r.Workload, r.Mode, r.Codec, r.Transport}] = r
 	}

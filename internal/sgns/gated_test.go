@@ -1,0 +1,119 @@
+package sgns
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"graphword2vec/internal/bitset"
+	"graphword2vec/internal/xrand"
+)
+
+// openGate never blocks — the degenerate gate of an already-finished
+// round.
+type openGate struct{ waits int64 }
+
+func (g *openGate) WaitNode(int32) { g.waits++ }
+
+// releaseGate blocks every wait until another goroutine flips it open,
+// simulating a sync round finishing mid-compute.
+type releaseGate struct {
+	open atomic.Bool
+	ch   chan struct{}
+}
+
+func newReleaseGate() *releaseGate { return &releaseGate{ch: make(chan struct{})} }
+
+func (g *releaseGate) WaitNode(int32) {
+	if g.open.Load() {
+		return
+	}
+	<-g.ch
+}
+
+func (g *releaseGate) release() {
+	g.open.Store(true)
+	close(g.ch)
+}
+
+// TestTrainTokensGatedBitIdentical is the overlap compute contract: a
+// gate may only delay row access, never change the result. Both an
+// always-open gate and one that blocks until released mid-run must
+// produce the exact floats of the ungated path.
+func TestTrainTokensGatedBitIdentical(t *testing.T) {
+	text := strings.Repeat("a b c d e f g h ", 60)
+	p := Params{Window: 3, Negatives: 4}
+
+	trRef, tokens := buildTiny(t, text, 8, p)
+	touchedRef := bitset.New(trRef.Vocab.Size())
+	var stRef Stats
+	trRef.TrainTokens(tokens, 0.05, xrand.New(7), touchedRef, &stRef, nil)
+
+	t.Run("open", func(t *testing.T) {
+		tr, _ := buildTiny(t, text, 8, p)
+		touched := bitset.New(tr.Vocab.Size())
+		var st Stats
+		g := &openGate{}
+		tr.TrainTokensGated(tokens, 0.05, xrand.New(7), touched, &st, nil, g)
+		if g.waits == 0 {
+			t.Fatal("gate never consulted")
+		}
+		compareToRef(t, tr, trRef, st, stRef, touched, touchedRef)
+	})
+
+	t.Run("released-midway", func(t *testing.T) {
+		tr, _ := buildTiny(t, text, 8, p)
+		touched := bitset.New(tr.Vocab.Size())
+		var st Stats
+		g := newReleaseGate()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tr.TrainTokensGated(tokens, 0.05, xrand.New(7), touched, &st, nil, g)
+		}()
+		g.release()
+		<-done
+		compareToRef(t, tr, trRef, st, stRef, touched, touchedRef)
+	})
+}
+
+func compareToRef(t *testing.T, got, ref *Trainer, st, stRef Stats, touched, touchedRef *bitset.Bitset) {
+	t.Helper()
+	if st != stRef {
+		t.Fatalf("stats diverged: %+v vs %+v", st, stRef)
+	}
+	for i := range got.Model.Emb.Data {
+		if got.Model.Emb.Data[i] != ref.Model.Emb.Data[i] {
+			t.Fatalf("emb diverged at %d", i)
+		}
+	}
+	for i := range got.Model.Ctx.Data {
+		if got.Model.Ctx.Data[i] != ref.Model.Ctx.Data[i] {
+			t.Fatalf("ctx diverged at %d", i)
+		}
+	}
+	for i := 0; i < touched.Len(); i++ {
+		if touched.Get(i) != touchedRef.Get(i) {
+			t.Fatalf("touched diverged at node %d", i)
+		}
+	}
+}
+
+// TestTrainTokensGatedZeroAllocs pins the gated hot path: with a reused
+// Scratch and a trivial gate, gating adds no allocations over
+// TrainTokens.
+func TestTrainTokensGatedZeroAllocs(t *testing.T) {
+	text := strings.Repeat("a b c d e f g h ", 100)
+	tr, tokens := buildTiny(t, text, 32, Params{Window: 5, Negatives: 5})
+	sc := tr.NewScratch()
+	touched := bitset.New(tr.Vocab.Size())
+	r := xrand.New(1)
+	var st Stats
+	g := &openGate{}
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.TrainTokensGated(tokens, 0.025, r, touched, &st, sc, g)
+	})
+	if allocs != 0 {
+		t.Errorf("TrainTokensGated with scratch: %v allocs/op, want 0", allocs)
+	}
+}

@@ -342,6 +342,12 @@ type BatchedConfig struct {
 	Alpha   float32
 	Seed    uint64
 	OnEpoch func(epoch int, st Stats)
+	// SharedNegWindow > 0 selects the batched-GEMM tier (`-sgns
+	// batched`): groups of that many pairs share one negative-sample
+	// set and score through vecmath.Gemm. Lossy relative to the
+	// pairwise schedule but deterministic — same seed, same model,
+	// independent of Threads (see batched_gemm.go).
+	SharedNegWindow int
 }
 
 // TrainBatched is the Gensim stand-in (see DESIGN.md substitutions): the
@@ -350,6 +356,9 @@ type BatchedConfig struct {
 // decays between jobs. This reproduces Gensim's scheduling behaviour —
 // slightly different convergence path, comparable final accuracy.
 func (t *Trainer) TrainBatched(tokens []int32, cfg BatchedConfig) Stats {
+	if cfg.SharedNegWindow > 0 {
+		return t.trainBatchedGemm(tokens, cfg)
+	}
 	if cfg.JobWords <= 0 {
 		cfg.JobWords = 10000
 	}

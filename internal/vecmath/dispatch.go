@@ -29,6 +29,7 @@ var (
 	addImpl        = addGeneric
 	subImpl        = subGeneric
 	updatePairImpl = updatePairGeneric
+	gemmImpl       = gemmGeneric
 )
 
 // simdKernels describes an architecture's kernel set, registered by the
@@ -42,6 +43,7 @@ type simdKernels struct {
 	add        func(dst, a, b []float32)
 	sub        func(dst, a, b []float32)
 	updatePair func(emb, ctx, neu1e []float32, g float32)
+	gemm       func(dst, a, b []float32, m, k, n int)
 }
 
 // arch is the registered SIMD kernel set, or nil when the build has none
@@ -92,6 +94,7 @@ func SetSIMD(enabled bool) bool {
 		addImpl = arch.add
 		subImpl = arch.sub
 		updatePairImpl = arch.updatePair
+		gemmImpl = arch.gemm
 		simdOn = true
 	} else {
 		dotImpl = dotGeneric
@@ -101,6 +104,7 @@ func SetSIMD(enabled bool) bool {
 		addImpl = addGeneric
 		subImpl = subGeneric
 		updatePairImpl = updatePairGeneric
+		gemmImpl = gemmGeneric
 		simdOn = false
 	}
 	return simdOn

@@ -1,0 +1,128 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"graphword2vec/internal/xrand"
+)
+
+// Gemm's contract is the same as every other kernel's (DESIGN.md §7):
+// the SSE2 implementation must be bit-identical to the generic one, here
+// over the small rectangular shapes the batched SGNS tier produces
+// (P×d · d×K panels, so every dimension from degenerate to past the
+// unroll width matters) plus odd offsets into shared backing arrays and
+// the denormal/±Inf value mix from fillSpecial.
+
+// gemmRef is an order-faithful scalar reference: dst[i][j] accumulates
+// over l left-to-right with every product rounded to float32 — the
+// element-wise recurrence both kernel implementations must reproduce.
+func gemmRef(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			alpha := a[i*k+l]
+			for j := 0; j < n; j++ {
+				dst[i*n+j] += float32(alpha * b[l*n+j])
+			}
+		}
+	}
+}
+
+func TestGemmGenericMatchesRef(t *testing.T) {
+	r := xrand.New(707)
+	for _, m := range []int{0, 1, 2, 3, 5, 8} {
+		for _, k := range []int{0, 1, 3, 4, 7, 16, 33} {
+			for _, n := range []int{0, 1, 2, 3, 4, 5, 15, 17} {
+				a := make([]float32, m*k)
+				b := make([]float32, k*n)
+				fillSpecial(r, a)
+				fillSpecial(r, b)
+				want := make([]float32, m*n)
+				got := make([]float32, m*n)
+				fillSpecial(r, want)
+				copy(got, want)
+				gemmRef(want, a, b, m, k, n)
+				gemmGeneric(got, a, b, m, k, n)
+				if !bitsEqual(want, got) {
+					t.Fatalf("gemmGeneric diverges from scalar ref at m=%d k=%d n=%d", m, k, n)
+				}
+			}
+		}
+	}
+}
+
+func TestSIMDGemmBitIdentical(t *testing.T) {
+	kset := requireSIMD(t)
+	r := xrand.New(708)
+	for _, m := range []int{0, 1, 2, 5, 8, 13} {
+		for _, k := range []int{0, 1, 3, 4, 15, 33, 100} {
+			for _, n := range []int{0, 1, 2, 3, 4, 7, 15, 16, 31} {
+				for _, off := range []int{0, 1, 3} {
+					ab := make([]float32, off+m*k)
+					bb := make([]float32, off+k*n)
+					db := make([]float32, off+m*n)
+					fillSpecial(r, ab)
+					fillSpecial(r, bb)
+					fillSpecial(r, db)
+					a := sliceAt(ab, off, m*k)
+					b := sliceAt(bb, off, k*n)
+					want := make([]float32, m*n)
+					copy(want, db[off:])
+					got := sliceAt(db, off, m*n)
+					gemmGeneric(want, a, b, m, k, n)
+					kset.gemm(got, a, b, m, k, n)
+					if !bitsEqual(want, got) {
+						t.Fatalf("gemm SSE2 vs generic diverge at m=%d k=%d n=%d off=%d", m, k, n, off)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The dispatched Gemm must not allocate: it sits inside the batched SGNS
+// group flush, which has the same zero-steady-state-allocation contract
+// as the pairwise hot path.
+func TestGemmZeroAllocs(t *testing.T) {
+	const m, k, n = 8, 100, 15
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	dst := make([]float32, m*n)
+	r := xrand.New(709)
+	for i := range a {
+		a[i] = float32(r.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(r.NormFloat64())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		Gemm(dst, a, b, m, k, n)
+	})
+	if allocs != 0 {
+		t.Fatalf("Gemm allocated %.1f times per call, want 0", allocs)
+	}
+	if math.IsNaN(float64(dst[0])) {
+		t.Fatal("unexpected NaN")
+	}
+}
+
+// BenchmarkGemm measures the batched-SGNS panel shape: P=8 centers,
+// d=100 dims, K=15 shared negatives.
+func BenchmarkGemm(bench *testing.B) {
+	const m, k, n = 8, 100, 15
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	dst := make([]float32, m*n)
+	r := xrand.New(710)
+	for i := range a {
+		a[i] = float32(r.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(r.NormFloat64())
+	}
+	bench.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	bench.ResetTimer()
+	for i := 0; i < bench.N; i++ {
+		Gemm(dst, a, b, m, k, n)
+	}
+}

@@ -106,6 +106,23 @@ func subGeneric(dst, a, b []float32) {
 	}
 }
 
+// gemmGeneric is the portable Gemm kernel: dst += A·B as k-deep
+// outer-product accumulation. For each (i, l) the update of dst's row i
+// is exactly axpyGeneric(a[i][l], b[l], dst[i]) — a 4-way-unrolled row
+// axpy — so any SIMD implementation that mirrors the axpy block shape and
+// walks (i, l) in the same order is bit-identical for free: each
+// dst[i][j] sees the same left-to-right sum over l with every product
+// rounded to float32.
+func gemmGeneric(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		d := dst[i*n : i*n+n]
+		ar := a[i*k : i*k+k]
+		for l := 0; l < k; l++ {
+			axpyGeneric(ar[l], b[l*n:l*n+n], d)
+		}
+	}
+}
+
 // updatePairGeneric is the portable fused SGNS edge update: in one pass
 // over the rows,
 //

@@ -29,6 +29,9 @@ func subSSE2(dst, a, b []float32)
 //go:noescape
 func updatePairSSE2(emb, ctx, neu1e []float32, grad float32)
 
+//go:noescape
+func gemmSSE2(dst, a, b []float32, m, k, n int)
+
 func init() {
 	arch = &simdKernels{
 		name:       "sse2",
@@ -39,6 +42,7 @@ func init() {
 		add:        addSSE2,
 		sub:        subSSE2,
 		updatePair: updatePairSSE2,
+		gemm:       gemmSSE2,
 	}
 	initDispatch()
 }

@@ -262,3 +262,74 @@ up_tail:
 
 up_done:
 	RET
+
+// func gemmSSE2(dst, a, b []float32, m, k, n int)
+//
+// dst += A·B as k-deep outer-product accumulation: for each (i, l) the
+// inner loop is exactly axpySSE2(a[i*k+l], b[l*n:], dst[i*n:]) — same
+// 4-lane block, same scalar tail — and the (i, l) walk order matches
+// gemmGeneric, so every dst[i][j] accumulates the identical float32
+// sequence. Row pointers are carried in registers (DX=dst row, CX=a row,
+// R13=b row) and advanced by n/k elements per loop instead of
+// re-multiplying indices.
+TEXT ·gemmSSE2(SB), NOSPLIT, $0-96
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ m+72(FP), R8
+	MOVQ k+80(FP), R9
+	MOVQ n+88(FP), R10
+	MOVQ R10, R14
+	ANDQ $-4, R14             // R14 = n - n%4
+	MOVQ DI, DX               // dst row pointer
+	MOVQ SI, CX               // a row pointer
+	XORQ R11, R11             // i
+
+gemm_i:
+	CMPQ R11, R8
+	JGE  gemm_done
+	XORQ R12, R12             // l
+	MOVQ BX, R13              // b row pointer
+
+gemm_l:
+	CMPQ   R12, R9
+	JGE    gemm_next_i
+	MOVSS  (CX)(R12*4), X0    // alpha = a[i][l]
+	SHUFPS $0x00, X0, X0      // broadcast alpha
+	XORQ   AX, AX             // j
+
+gemm_blk4:
+	CMPQ   AX, R14
+	JGE    gemm_tail
+	MOVUPS (R13)(AX*4), X1
+	MULPS  X0, X1             // alpha * b[l][j:j+4]
+	MOVUPS (DX)(AX*4), X2
+	ADDPS  X1, X2             // dst[i][j:j+4] + alpha*b
+	MOVUPS X2, (DX)(AX*4)
+	ADDQ   $4, AX
+	JMP    gemm_blk4
+
+gemm_tail:
+	CMPQ  AX, R10
+	JGE   gemm_next_l
+	MOVSS (R13)(AX*4), X1
+	MULSS X0, X1
+	MOVSS (DX)(AX*4), X2
+	ADDSS X1, X2
+	MOVSS X2, (DX)(AX*4)
+	INCQ  AX
+	JMP   gemm_tail
+
+gemm_next_l:
+	LEAQ (R13)(R10*4), R13    // b row += n
+	INCQ R12
+	JMP  gemm_l
+
+gemm_next_i:
+	LEAQ (DX)(R10*4), DX      // dst row += n
+	LEAQ (CX)(R9*4), CX       // a row += k
+	INCQ R11
+	JMP  gemm_i
+
+gemm_done:
+	RET

@@ -49,6 +49,19 @@ func Sub(dst, a, b []float32) { subImpl(dst, a, b) }
 // must not alias emb or ctx.
 func UpdatePair(emb, ctx, neu1e []float32, g float32) { updatePairImpl(emb, ctx, neu1e, g) }
 
+// Gemm computes dst += A·B for row-major float32 matrices stored flat:
+// A is m×k at a[:m*k], B is k×n at b[:k*n], dst is m×n at dst[:m*n].
+// The accumulate form (+=) lets callers chain panels without an extra
+// pass; zero dst first for a plain product.
+//
+// Each dst[i][j] is accumulated over l = 0..k-1 in that exact order with
+// every product rounded to float32 — the same element-wise recurrence as
+// k successive Axpy row updates — so the generic and SSE2 implementations
+// are bit-identical (the j-lanes are independent; the l-order is shared).
+// Slices must not overlap. Like the other kernels, length validation is
+// the caller's job: dst, a, b must hold at least m*n, m*k, k*n elements.
+func Gemm(dst, a, b []float32, m, k, n int) { gemmImpl(dst, a, b, m, k, n) }
+
 // Norm2Sq returns the squared Euclidean norm ‖x‖².
 func Norm2Sq(x []float32) float32 { return Dot(x, x) }
 
