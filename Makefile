@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-portable test-sync-race overlap-smoke bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke membership-smoke cross-arm64 vet fmt-check fmt docs-check
+.PHONY: all build test test-short test-portable test-sync-race overlap-smoke bench-smoke sync-latency-smoke serve-smoke serve-latency-smoke fault-grid-smoke membership-smoke chaos-smoke cross-arm64 vet fmt-check fmt docs-check
 
 all: fmt-check vet docs-check build test-short test-sync-race test-portable cross-arm64
 
@@ -78,6 +78,16 @@ fault-grid-smoke:
 membership-smoke:
 	$(GO) test -race -count=1 -run 'TestMembershipGridSmoke|TestSecondFailure' ./internal/harness/
 	$(GO) test -count=3 -run 'TestMeshRedialAfterPeerRestart' ./internal/harness/
+
+# Transient-fault resilience lane: the session layer's unit surface
+# (reconnect, replay, corrupt-frame rejection, budget escalation) and
+# every gluon-level chaos class, then the priority-1 diagonal of the
+# chaos grid (every fault class, sync mode and workload at least once),
+# all under the race detector (mirrored as a CI step; DESIGN.md §13,
+# PROTOCOL.md §12).
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestSession|TestChaos[^G]|TestDialMeshSession' ./internal/gluon/
+	$(GO) test -race -count=1 -run 'TestChaosGridSmoke' ./internal/harness/
 
 # arm64 must compile (simd_stub path).
 cross-arm64:

@@ -25,7 +25,7 @@ import (
 
 var experiments = []string{"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
 	"ablation-combiners", "ablation-sparsity", "ablation-threads", "graph-sync", "comm-volume",
-	"throughput", "sync-latency", "serve-latency", "fault-grid", "membership-grid"}
+	"throughput", "sync-latency", "serve-latency", "fault-grid", "membership-grid", "chaos-grid"}
 
 func main() {
 	log.SetFlags(0)
@@ -181,6 +181,23 @@ func main() {
 			Seed       uint64                 `json:"seed"`
 			Rows       []harness.FaultGridRow `json:"rows"`
 		}{"fault-grid", opts.Scale.String(), opts.Seed, rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+	})
+	run("chaos-grid", func() error {
+		rows, err := harness.ChaosGrid(opts, harness.ChaosGridCases())
+		if err != nil || *benchOut == "" {
+			return err
+		}
+		doc := struct {
+			Experiment string                 `json:"experiment"`
+			Scale      string                 `json:"scale"`
+			Seed       uint64                 `json:"seed"`
+			Rows       []harness.ChaosGridRow `json:"rows"`
+		}{"chaos-grid", opts.Scale.String(), opts.Seed, rows}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

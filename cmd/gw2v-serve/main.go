@@ -40,6 +40,7 @@ func main() {
 		scorers  = flag.Int("scorers", 0, "scorer pool goroutines (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 0, "max queries per batch request (0 = default 256)")
 		defaultK = flag.Int("k", 0, "default neighbour count when a request omits k (0 = 10)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline: how long in-flight requests may finish after SIGINT/SIGTERM before the listener is torn down")
 		profiles = cliutil.RegisterProfiles(flag.CommandLine)
 	)
 	flag.Parse()
@@ -91,7 +92,11 @@ func main() {
 	})
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	// ReadHeaderTimeout bounds how long an accepted connection may sit
+	// without sending its request head — without it a slow-loris client
+	// holds a goroutine forever and, worse, stalls graceful shutdown
+	// below for the full drain deadline.
+	httpSrv := &http.Server{Addr: *listen, Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on %s", *listen)
@@ -102,8 +107,8 @@ func main() {
 	case err := <-errCh:
 		fatal(err)
 	case s := <-sig:
-		log.Printf("%s: draining", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("%s: draining for up to %s", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fatal(err)

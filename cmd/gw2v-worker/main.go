@@ -82,6 +82,7 @@ func main() {
 		syncRounds  = flag.Int("sync-rounds", 0, "sync rounds per epoch (0 = rule of thumb)")
 		commFlags   = cliutil.RegisterComm(flag.CommandLine, ", identical on every rank")
 		perfFlags   = cliutil.RegisterPerf(flag.CommandLine)
+		healFlags   = cliutil.RegisterHeal(flag.CommandLine)
 		seed        = flag.Uint64("seed", 1, "random seed (identical on every rank)")
 		dialTimeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers during bootstrap")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress")
@@ -200,6 +201,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ThreadsPerHost = *threads
 	cfg.SyncOverlap = perfFlags.SyncOverlap
+	cfg.Heal = healFlags.Heal
+	cfg.HealBudget = healFlags.Budget
 	if *syncRounds > 0 {
 		cfg.SyncRounds = *syncRounds
 	}
@@ -226,6 +229,7 @@ func main() {
 			PeerLossGrace:     *peerTimeout,
 		}
 	}
+	tcpOpts.Session = cfg.HealOptions()
 	var onEpoch func(int, float32, sgns.Stats, gluon.Stats)
 	if !*quiet {
 		onEpoch = func(epoch int, alpha float32, train sgns.Stats, comm gluon.Stats) {

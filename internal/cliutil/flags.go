@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphword2vec/internal/gluon"
 	"graphword2vec/internal/model"
@@ -69,6 +70,35 @@ func RegisterPerf(fs *flag.FlagSet) *PerfFlags {
 	fs.BoolVar(&p.SyncOverlap, "sync-overlap", false,
 		"double-buffer the BSP step: run each synchronisation round on a background goroutine while the next round's compute starts on rows the round has already finalised, blocking per node until finality; bit-identical to serialized rounds, so this per-host knob may differ between ranks (DESIGN.md §12)")
 	return p
+}
+
+// HealFlags holds the session-healing knobs after parsing — the
+// transport-resilience pair consumed by gluon's session layer
+// (PROTOCOL.md §12). Like PerfFlags they never change what is
+// computed, only how the bytes survive the network, so they are
+// excluded from the cluster checksum.
+type HealFlags struct {
+	// Heal enables session-layer reconnect/retransmit healing.
+	Heal bool
+	// Budget bounds the per-peer-pair healing time before escalation.
+	Budget time.Duration
+}
+
+// RegisterHeal installs the canonical -heal and -heal-budget flags on
+// fs.
+func RegisterHeal(fs *flag.FlagSet) *HealFlags {
+	h := &HealFlags{}
+	fs.BoolVar(&h.Heal, "heal", false,
+		"session-layer fault healing: transient connection resets, partitions and slow links are healed in place by transparent reconnection and retransmission of unacknowledged frames instead of surfacing as peer loss; healed runs are bit-identical to fault-free ones, so this knob is excluded from the cluster checksum, but every rank must still agree on it — the mesh handshake enforces that (PROTOCOL.md §12)")
+	fs.DurationVar(&h.Budget, "heal-budget", 10*time.Second,
+		"with -heal, how long one peer pair may stay broken before the session layer gives up and escalates to the checkpoint/membership recovery ladder (DESIGN.md §13); excluded from the cluster checksum")
+	return h
+}
+
+// Options translates the parsed flags into gluon session options
+// (gluon.TCPOptions.Session).
+func (h *HealFlags) Options() gluon.SessionOptions {
+	return gluon.SessionOptions{Heal: h.Heal, HealBudget: h.Budget}
 }
 
 // ProfileFlags holds the pprof output paths after parsing.

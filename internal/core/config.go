@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"graphword2vec/internal/combine"
 	"graphword2vec/internal/gluon"
@@ -67,6 +68,25 @@ type Config struct {
 	// hosts (gluon.SetSyncOverlap); larger clusters fall back to
 	// serialized rounds.
 	SyncOverlap bool
+	// Heal enables the gluon session layer (PROTOCOL.md §12) on TCP
+	// meshes: transient connection faults — resets, partitions, slow
+	// links — are healed in place by transparent reconnection and
+	// retransmission of unacknowledged frames instead of surfacing as
+	// ErrPeerLost. Healing changes only when bytes move, never what is
+	// computed — a healed run is bit-identical to a fault-free one — so
+	// like SyncWorkers and SyncOverlap this knob is excluded from the
+	// cluster checksum. The mesh handshake still requires every rank to
+	// agree on it (mixed meshes would strand frames), which is exactly
+	// why it cannot live in the checksum: the handshake carries it in a
+	// dedicated hello field checked before the checksum comparison.
+	// Ignored by the in-process simulated cluster.
+	Heal bool
+	// HealBudget bounds how long one peer pair may spend broken before
+	// the session layer gives up and escalates to ErrPeerLost, handing
+	// the fault to the checkpoint/membership ladder (DESIGN.md §13).
+	// Zero means the gluon default (10s). Excluded from the cluster
+	// checksum like Heal; ranks may legitimately disagree.
+	HealBudget time.Duration
 	// Params are the Skip-Gram hyper-parameters.
 	Params sgns.Params
 	// CombinerName selects the reduction operator: "MC" (the paper's
@@ -144,6 +164,8 @@ func (c *Config) Validate() error {
 		return errors.New("core: ThreadsPerHost must be positive")
 	case c.SyncWorkers < 0:
 		return errors.New("core: SyncWorkers must be non-negative")
+	case c.HealBudget < 0:
+		return errors.New("core: HealBudget must be non-negative")
 	}
 	if err := c.Params.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -160,6 +182,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
+}
+
+// HealOptions translates the healing knobs into the gluon session-layer
+// options consumed by TCP transports (gluon.TCPOptions.Session).
+func (c *Config) HealOptions() gluon.SessionOptions {
+	return gluon.SessionOptions{Heal: c.Heal, HealBudget: c.HealBudget}
 }
 
 // alphaForEpoch implements the per-epoch linear decay of Algorithm 1.

@@ -105,8 +105,15 @@ func goldenFrames(t *testing.T) map[string][]byte {
 		}),
 	}
 
+	// The session frame (v6): rank 1 sending seq 7 / ack 3 wrapping the
+	// pinned barrier payload, and the session resume hello: rank 1,
+	// token 0x1122334455667788, lastRecv 42.
+	frames["session-data"] = sessionFrameAppend(nil, 1, 7, 3, barrierMessage(9))
+	frames["session-hello"] = goldenSessionHello(t)
+
 	// The mesh hello, captured off a pipe: rank 1 of 3, checksum
-	// 0x0123456789ABCDEF, packed codec.
+	// 0x0123456789ABCDEF, packed codec, session healing on with token
+	// 0x1122334455667788 (v6 flags byte = 1).
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
@@ -120,8 +127,11 @@ func goldenFrames(t *testing.T) map[string][]byte {
 		}
 		helloCh <- buf
 	}()
-	cfg := MeshConfig{Rank: 1, Peers: []string{"a", "b", "c"}, Checksum: 0x0123456789ABCDEF, Wire: CodecPacked}
-	if err := writeHello(a, cfg, time.Now().Add(5*time.Second)); err != nil {
+	cfg := MeshConfig{
+		Rank: 1, Peers: []string{"a", "b", "c"}, Checksum: 0x0123456789ABCDEF, Wire: CodecPacked,
+		TCP: TCPOptions{Session: SessionOptions{Heal: true}},
+	}
+	if err := writeHello(a, cfg, 0x1122334455667788, time.Now().Add(5*time.Second)); err != nil {
 		t.Fatalf("writeHello: %v", err)
 	}
 	hello := <-helloCh
@@ -132,12 +142,38 @@ func goldenFrames(t *testing.T) map[string][]byte {
 	return frames
 }
 
+// goldenSessionHello captures the v6 session resume hello off a pipe.
+func goldenSessionHello(t *testing.T) []byte {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ch := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, sessionHelloBytes)
+		b.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(b, buf); err != nil {
+			ch <- nil
+			return
+		}
+		ch <- buf
+	}()
+	if err := writeSessionHello(a, 1, 0x1122334455667788, 42); err != nil {
+		t.Fatalf("writeSessionHello: %v", err)
+	}
+	hello := <-ch
+	if hello == nil {
+		t.Fatal("session hello capture failed")
+	}
+	return hello
+}
+
 func TestWireGolden(t *testing.T) {
 	frames := goldenFrames(t)
 
 	if *updateGolden {
 		var sb strings.Builder
-		sb.WriteString("# Golden wire frames, protocol version 5 (PROTOCOL.md).\n")
+		sb.WriteString("# Golden wire frames, protocol version 6 (PROTOCOL.md).\n")
 		sb.WriteString("# Regenerate ONLY on a deliberate, version-bumped format change:\n")
 		sb.WriteString("#   go test ./internal/gluon -run TestWireGolden -update-golden\n")
 		names := make([]string, 0, len(frames))
@@ -358,5 +394,22 @@ func TestWireGoldenDecodes(t *testing.T) {
 	}
 	if len(transferred) != 3 || transferred[0] != 5 || transferred[2] != 7 {
 		t.Fatalf("transfer-varint nodes = %v", transferred)
+	}
+
+	// Session frames (protocol v6): the pinned bytes must decode to the
+	// fixed seq/ack/payload, the CRC must verify, and the resume hello
+	// must round-trip through readSessionHello.
+	sd := lookup["session-data"]
+	if wantSD := sessionFrameAppend(nil, 1, 7, 3, barrierMessage(9)); !bytes.Equal(sd, wantSD) {
+		t.Fatalf("session-data = %x, want %x", sd, wantSD)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() { a.Write(lookup["session-hello"]) }()
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	rank, token, lastRecv, err := readSessionHello(b)
+	if err != nil || rank != 1 || token != 0x1122334455667788 || lastRecv != 42 {
+		t.Fatalf("session-hello = (%d, %#x, %d, %v)", rank, token, lastRecv, err)
 	}
 }

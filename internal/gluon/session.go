@@ -1,0 +1,861 @@
+package gluon
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Session layer (protocol v6): transient-fault healing below the
+// kill-and-relaunch machinery. With SessionOptions.Heal enabled every
+// data frame carries a per-peer-pair sequence number, an acknowledgement
+// of the highest frame received from that peer, and a CRC32 over header
+// and payload; every sent frame is retained in a bounded retransmit
+// buffer until the peer acknowledges it. When a connection breaks — a
+// reset, a read/write deadline expiry, a corrupt or out-of-order frame —
+// the session tears the connection down and heals in place: the lower
+// rank redials the higher rank's persistent resume listener with
+// jittered exponential backoff, the two sides exchange a resume hello
+// ("GW2VSESS") carrying their session tokens and last-received sequence
+// numbers, and the unacknowledged tail of the retransmit buffer is
+// replayed. Receivers discard duplicates (seq <= lastRecv) and treat
+// gaps (seq > lastRecv+1) as a new break, so delivery stays exactly-once
+// and in order — the sync engine above never observes the fault.
+//
+// Faults that outlast SessionOptions.HealBudget (measured from the
+// FIRST break, so a storm of failed re-heals cannot reset the clock)
+// degrade into the existing escalation ladder: the peer is declared
+// lost and the transport poisoned with ErrPeerLost, handing control to
+// the checkpoint-resume and elastic-membership paths (PROTOCOL.md §12,
+// DESIGN.md §13).
+//
+// Session frame, all little-endian, inside the standard TCP framing
+// (sender uint32, length uint32):
+//
+//	bytes 0–7   sequence number (uint64; 0 = unsequenced control —
+//	            only heartbeats, which carry acks between data frames)
+//	bytes 8–15  ack: highest sequence received from the destination
+//	bytes 16–19 CRC32 (IEEE) over the seq+ack bytes and the payload
+//	bytes 20–   wire payload (wire.go)
+//
+// Resume hello, all little-endian: magic "GW2VSESS" (8 bytes),
+// version (uint32, = meshVersion), sender rank (uint32), session
+// token (uint64), lastRecv (uint64). See PROTOCOL.md §12.
+
+// SessionOptions enables and tunes the self-healing session layer on a
+// TCPTransport. The zero value disables it entirely, preserving the
+// legacy transport behaviour (any connection fault poisons the
+// transport after the peer-loss grace). All ranks must agree on Heal —
+// the v6 mesh hello carries the flag and rejects mixed clusters.
+type SessionOptions struct {
+	// Heal turns the session layer on: sequenced, CRC-protected,
+	// acknowledged frames with transparent reconnect and replay.
+	Heal bool
+	// HealBudget bounds how long one outage may last — measured from
+	// the first break of the connection, across every redial attempt —
+	// before the peer is declared lost (ErrPeerLost). Zero means 10s.
+	HealBudget time.Duration
+	// RetransmitLimit bounds the per-peer retransmit buffer in bytes.
+	// A peer that persistently fails to acknowledge past this limit is
+	// declared lost immediately (it is either dead or unrecoverably
+	// slow, and buffering more would only defer the verdict while
+	// consuming memory). Zero means 256 MiB.
+	RetransmitLimit int
+	// RedialMin / RedialMax bound the jittered exponential backoff
+	// between reconnect attempts. Zero means 10ms / 500ms.
+	RedialMin time.Duration
+	RedialMax time.Duration
+}
+
+const (
+	sessionMagic = "GW2VSESS"
+	// sessionHelloBytes is the encoded resume-hello size.
+	sessionHelloBytes = len(sessionMagic) + 4 + 4 + 8 + 8
+	// sessionHeaderBytes is the per-frame session header (seq, ack, crc)
+	// prepended to every payload in session mode.
+	sessionHeaderBytes = 8 + 8 + 4
+
+	defaultHealBudget      = 10 * time.Second
+	defaultRetransmitLimit = 256 << 20
+	defaultRedialMin       = 10 * time.Millisecond
+	defaultRedialMax       = 500 * time.Millisecond
+)
+
+func (o SessionOptions) budget() time.Duration {
+	if o.HealBudget > 0 {
+		return o.HealBudget
+	}
+	return defaultHealBudget
+}
+
+func (o SessionOptions) retransmitLimit() int {
+	if o.RetransmitLimit > 0 {
+		return o.RetransmitLimit
+	}
+	return defaultRetransmitLimit
+}
+
+func (o SessionOptions) redialMin() time.Duration {
+	if o.RedialMin > 0 {
+		return o.RedialMin
+	}
+	return defaultRedialMin
+}
+
+func (o SessionOptions) redialMax() time.Duration {
+	if o.RedialMax > 0 {
+		return o.RedialMax
+	}
+	return defaultRedialMax
+}
+
+// SessionStats aggregates healing activity across all peers of one
+// transport, for harness assertions and operator visibility.
+type SessionStats struct {
+	// Heals counts successful connection re-establishments (a bootstrap
+	// connection install does not count).
+	Heals int
+	// Replayed counts frames retransmitted from the stash after heals.
+	Replayed int
+	// Dups counts received frames discarded as duplicates.
+	Dups int
+}
+
+// sessionFrame is one unacknowledged payload in the retransmit stash.
+type sessionFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// peerSession is the per-peer healing state. One long-lived reader
+// goroutine per peer (sessionReadLoop) reads whichever connection is
+// installed; writers block on cond until ready. The generation counter
+// distinguishes the current connection from retired ones, so a stale
+// break report (from a writer and the reader racing on the same dead
+// connection) is applied at most once.
+type peerSession struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	conn net.Conn // nil while broken/healing
+	gen  int      // bumped on every break and retirement
+	// ready gates writers: the connection is installed AND the replay
+	// of unacked frames has completed. Between install and ready the
+	// healer is the connection's sole writer.
+	ready bool
+	// brokenSince is set at the first break of an outage and cleared
+	// only when a heal fully completes (ready again), so the healing
+	// budget spans consecutive failed re-heals.
+	brokenSince time.Time
+
+	nextSeq  uint64 // next sequence number to assign (starts at 1)
+	lastRecv uint64 // highest in-order sequence received from the peer
+
+	stash      []sessionFrame // unacked frames, ascending seq
+	stashBytes int
+	free       [][]byte // recycled payload buffers (bounded)
+
+	// Ack-stall detection (see sessionStallCheck): the oldest unacked
+	// seq and since when it has been stuck at the head of the stash.
+	stallSeq   uint64
+	stallSince time.Time
+
+	heals    int
+	replayed int
+	dups     int
+}
+
+func newPeerSession() *peerSession {
+	ps := &peerSession{gen: 1, nextSeq: 1}
+	ps.cond = sync.NewCond(&ps.mu)
+	return ps
+}
+
+// takeBufLocked returns a payload buffer of length n, recycling an
+// acknowledged one when possible. Caller holds ps.mu. Recycled buffers
+// are safe even while a replay is in flight: buffers only enter the
+// free list on acknowledgement, and nothing takes from it until
+// writers unblock — which happens strictly after the replay completes.
+func (ps *peerSession) takeBufLocked(n int) []byte {
+	for i := len(ps.free) - 1; i >= 0; i-- {
+		if cap(ps.free[i]) >= n {
+			b := ps.free[i][:n]
+			ps.free[i] = ps.free[len(ps.free)-1]
+			ps.free[len(ps.free)-1] = nil
+			ps.free = ps.free[:len(ps.free)-1]
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// evictAckedLocked drops stash entries with seq <= ack, recycling their
+// buffers. Caller holds ps.mu.
+func (ps *peerSession) evictAckedLocked(ack uint64) {
+	i := 0
+	for i < len(ps.stash) && ps.stash[i].seq <= ack {
+		ps.stashBytes -= len(ps.stash[i].payload)
+		if len(ps.free) < 64 {
+			ps.free = append(ps.free, ps.stash[i].payload[:0])
+		}
+		ps.stash[i] = sessionFrame{}
+		i++
+	}
+	if i > 0 {
+		ps.stash = append(ps.stash[:0], ps.stash[i:]...)
+	}
+}
+
+// sessionFrameAppend appends a complete session frame — TCP framing
+// header, session header, payload — to dst and returns the extended
+// slice. The CRC covers the seq+ack bytes and the payload (not the
+// sender/length framing, which the receiver validates structurally),
+// and is recomputed on every write because the ack varies on replay.
+func sessionFrameAppend(dst []byte, sender int, seq, ack uint64, payload []byte) []byte {
+	need := 8 + sessionHeaderBytes + len(payload)
+	start := len(dst)
+	if cap(dst)-start < need {
+		grown := make([]byte, start, start+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:start+need]
+	frame := dst[start:]
+	binary.LittleEndian.PutUint32(frame, uint32(sender))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(sessionHeaderBytes+len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:], seq)
+	binary.LittleEndian.PutUint64(frame[16:], ack)
+	copy(frame[28:], payload)
+	crc := crc32.ChecksumIEEE(frame[8:24])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(frame[24:], crc)
+	return dst
+}
+
+// newSessionToken draws a random nonzero session token identifying one
+// transport incarnation; a resume hello with the wrong token (e.g. from
+// a restarted process trying to resume a session it never had) is
+// rejected, pushing that peer onto the elastic re-form path instead.
+func newSessionToken() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	tok := binary.LittleEndian.Uint64(b[:])
+	if tok == 0 {
+		tok = 1
+	}
+	return tok
+}
+
+// jitterBackoff returns the pause before retry `attempt` (0-based):
+// exponential from lo capped at hi, with uniform jitter in [d/2, d] so
+// a mass restart cannot thunder the same instant.
+func jitterBackoff(attempt int, lo, hi time.Duration) time.Duration {
+	if lo <= 0 {
+		lo = time.Millisecond
+	}
+	if hi < lo {
+		hi = lo
+	}
+	d := hi
+	if attempt < 30 {
+		if d = lo << uint(attempt); d <= 0 || d > hi {
+			d = hi
+		}
+	}
+	half := d / 2
+	return half + time.Duration(mrand.Int63n(int64(half)+1))
+}
+
+// initSession builds the per-peer session state, wrapping any already
+// wired bootstrap connections (which start ready at generation 1).
+func (t *TCPTransport) initSession() {
+	if t.opts.Chaos != nil {
+		t.chaos = make([]*chaosState, t.n)
+		for g := 0; g < t.n; g++ {
+			if g != t.host {
+				t.chaos[g] = newChaosState(*t.opts.Chaos, t.host, g)
+			}
+		}
+	}
+	t.sess = make([]*peerSession, t.n)
+	for g := 0; g < t.n; g++ {
+		if g == t.host {
+			continue
+		}
+		ps := newPeerSession()
+		if conn := t.conns[g]; conn != nil {
+			ps.conn = t.wrapConn(g, conn)
+			ps.ready = true
+		}
+		t.sess[g] = ps
+	}
+}
+
+// wrapConn applies the chaos-injection wrapper to a post-handshake
+// connection when a ChaosPlan is configured. The chaos state is
+// per-direction and persists across reconnects, so the injection
+// schedule is deterministic over the run, not per connection.
+func (t *TCPTransport) wrapConn(peer int, conn net.Conn) net.Conn {
+	if t.chaos == nil || t.chaos[peer] == nil {
+		return conn
+	}
+	return &chaosConn{Conn: conn, st: t.chaos[peer]}
+}
+
+// sessionSend implements Send in session mode: assign a sequence
+// number, stash a copy for retransmission, and write. The stash append
+// and the write both happen under writeMu, so stash order is write
+// order. A write error is NOT surfaced to the caller — the frame is
+// stashed, the break is reported (sessionBroken) and the replay after
+// the heal delivers it; only an exhausted healing budget or an
+// overflowing stash escalates to ErrPeerLost.
+func (t *TCPTransport) sessionSend(to int, payload []byte) error {
+	ps := t.sess[to]
+	t.writeMu[to].Lock()
+	defer t.writeMu[to].Unlock()
+
+	ps.mu.Lock()
+	for !ps.ready {
+		select {
+		case <-t.done:
+			ps.mu.Unlock()
+			return t.closedErr()
+		default:
+		}
+		ps.cond.Wait()
+	}
+	if ps.stashBytes+len(payload) > t.opts.Session.retransmitLimit() {
+		ps.mu.Unlock()
+		t.markLost(to)
+		err := fmt.Errorf("%w: retransmit buffer for host %d exceeds %d bytes (peer not acknowledging)",
+			ErrPeerLost, to, t.opts.Session.retransmitLimit())
+		t.fail(err)
+		return err
+	}
+	seq := ps.nextSeq
+	ps.nextSeq++
+	buf := ps.takeBufLocked(len(payload))
+	copy(buf, payload)
+	ps.stash = append(ps.stash, sessionFrame{seq: seq, payload: buf})
+	ps.stashBytes += len(buf)
+	conn := ps.conn
+	gen := ps.gen
+	ack := ps.lastRecv
+	ps.mu.Unlock()
+
+	// Frame and write outside ps.mu: holding it across a blocking Write
+	// could deadlock two hosts whose TCP windows are both full, since
+	// draining requires the readers to take ps.mu for ack processing.
+	frame := sessionFrameAppend(t.sendBufs[to][:0], t.host, seq, ack, payload)
+	t.sendBufs[to] = frame
+	if t.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.sessionBroken(to, gen, fmt.Errorf("gluon: session write to host %d: %w", to, err))
+	}
+	return nil
+}
+
+// sessionHeartbeatTick emits one unsequenced (seq 0) heartbeat to every
+// ready peer, carrying the current ack so acknowledgements flow even
+// when we have no data to send, and runs the ack-stall check. TryLock
+// keeps the heartbeat from queueing behind a large blocked send.
+func (t *TCPTransport) sessionHeartbeatTick(hb []byte) {
+	for g, ps := range t.sess {
+		if g == t.host || ps == nil {
+			continue
+		}
+		t.sessionStallCheck(g, ps)
+		if !t.writeMu[g].TryLock() {
+			continue
+		}
+		ps.mu.Lock()
+		if !ps.ready {
+			ps.mu.Unlock()
+			t.writeMu[g].Unlock()
+			continue
+		}
+		conn := ps.conn
+		gen := ps.gen
+		ack := ps.lastRecv
+		ps.mu.Unlock()
+		frame := sessionFrameAppend(t.sendBufs[g][:0], t.host, 0, ack, hb)
+		t.sendBufs[g] = frame
+		if t.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.sessionBroken(g, gen, fmt.Errorf("gluon: session heartbeat to host %d: %w", g, err))
+		}
+		t.writeMu[g].Unlock()
+	}
+}
+
+// sessionStallCheck detects a silently lost frame: if the head of the
+// retransmit stash has not advanced for longer than the stall timeout
+// while the connection looks healthy, the frame (or all acks since)
+// vanished in flight — tear the connection so the heal's replay
+// retransmits it. Without this, a dropped final frame of a round would
+// hang both sides forever (heartbeats keep the read deadline fed, so
+// no other detector fires).
+func (t *TCPTransport) sessionStallCheck(peer int, ps *peerSession) {
+	timeout := t.opts.ReadTimeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	if hb := 4 * t.opts.HeartbeatInterval; hb > timeout {
+		timeout = hb
+	}
+	ps.mu.Lock()
+	if !ps.ready || len(ps.stash) == 0 {
+		ps.stallSeq, ps.stallSince = 0, time.Time{}
+		ps.mu.Unlock()
+		return
+	}
+	head := ps.stash[0].seq
+	now := time.Now()
+	if head != ps.stallSeq || ps.stallSince.IsZero() {
+		ps.stallSeq, ps.stallSince = head, now
+		ps.mu.Unlock()
+		return
+	}
+	if now.Sub(ps.stallSince) < timeout {
+		ps.mu.Unlock()
+		return
+	}
+	gen := ps.gen
+	ps.stallSeq, ps.stallSince = 0, time.Time{}
+	ps.mu.Unlock()
+	t.sessionBroken(peer, gen, fmt.Errorf("gluon: host %d not acknowledging seq %d for %v", peer, head, timeout))
+}
+
+// sessionReadLoop is the single long-lived reader for one peer. It
+// reads whichever connection is currently installed; when the
+// connection breaks it reports the break and waits for the healer to
+// install the next one. A single reader (rather than one per
+// connection) guarantees inbox ordering across heals.
+func (t *TCPTransport) sessionReadLoop(peer int) {
+	defer t.wg.Done()
+	ps := t.sess[peer]
+	for {
+		ps.mu.Lock()
+		for ps.conn == nil {
+			select {
+			case <-t.done:
+				ps.mu.Unlock()
+				return
+			default:
+			}
+			ps.cond.Wait()
+		}
+		conn, gen := ps.conn, ps.gen
+		ps.mu.Unlock()
+		err := t.sessionReadConn(conn, peer, ps)
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		t.sessionBroken(peer, gen, err)
+	}
+}
+
+// sessionReadConn decodes session frames from one connection until it
+// errors. Unlike the legacy readLoop, NO anomaly poisons the transport
+// here — a bad sender id, a short or oversized frame, a CRC mismatch,
+// a sequence gap or a deadline expiry all return an error and let the
+// session heal (tearing the connection also resynchronises framing
+// after corruption). Duplicates (seq <= lastRecv) are discarded
+// silently; acks are processed on every frame including heartbeats.
+func (t *TCPTransport) sessionReadConn(conn net.Conn, peer int, ps *peerSession) error {
+	hdr := make([]byte, 8)
+	for {
+		if t.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(t.opts.ReadTimeout))
+		}
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return fmt.Errorf("gluon: session read from host %d: %w", peer, err)
+		}
+		from := int(binary.LittleEndian.Uint32(hdr))
+		length := binary.LittleEndian.Uint32(hdr[4:])
+		if from != peer {
+			return fmt.Errorf("gluon: session frame claims sender %d on connection to host %d", from, peer)
+		}
+		if length < sessionHeaderBytes {
+			return fmt.Errorf("gluon: session frame of %d bytes from host %d below header size %d", length, peer, sessionHeaderBytes)
+		}
+		if length-sessionHeaderBytes > maxFrameBytes {
+			return fmt.Errorf("gluon: session frame of %d bytes from host %d exceeds limit %d", length, peer, maxFrameBytes)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return fmt.Errorf("gluon: session read from host %d: %w", peer, err)
+		}
+		seq := binary.LittleEndian.Uint64(body)
+		ack := binary.LittleEndian.Uint64(body[8:])
+		crc := binary.LittleEndian.Uint32(body[16:])
+		payload := body[sessionHeaderBytes:]
+		sum := crc32.ChecksumIEEE(body[:16])
+		sum = crc32.Update(sum, crc32.IEEETable, payload)
+		if sum != crc {
+			return fmt.Errorf("gluon: session frame seq %d from host %d fails CRC (%#x != %#x)", seq, peer, sum, crc)
+		}
+
+		ps.mu.Lock()
+		ps.evictAckedLocked(ack)
+		if seq == 0 {
+			ps.mu.Unlock()
+			if !isHeartbeat(payload) {
+				return fmt.Errorf("gluon: unsequenced non-heartbeat frame from host %d", peer)
+			}
+			continue
+		}
+		if seq <= ps.lastRecv {
+			ps.dups++
+			ps.mu.Unlock()
+			continue
+		}
+		if seq != ps.lastRecv+1 {
+			last := ps.lastRecv
+			ps.mu.Unlock()
+			return fmt.Errorf("gluon: session gap from host %d: seq %d after %d", peer, seq, last)
+		}
+		ps.lastRecv = seq
+		ps.mu.Unlock()
+
+		if isHeartbeat(payload) {
+			continue
+		}
+		select {
+		case t.inbox <- inprocMsg{from: peer, payload: payload}:
+		case <-t.done:
+			return ErrTransportClosed
+		}
+	}
+}
+
+// sessionBroken reports that the connection of generation gen to peer
+// broke. Stale reports (a retired generation, or no connection
+// installed) are ignored, so the writer and the reader racing on the
+// same dead connection tear it down exactly once. The side that dials
+// (lower rank) starts the redial loop; the side that accepts starts a
+// watchdog enforcing the healing budget while it waits to be redialed.
+func (t *TCPTransport) sessionBroken(peer, gen int, cause error) {
+	ps := t.sess[peer]
+	ps.mu.Lock()
+	if ps.gen != gen || ps.conn == nil {
+		ps.mu.Unlock()
+		return
+	}
+	conn := ps.conn
+	ps.conn = nil
+	ps.ready = false
+	ps.gen++
+	if ps.brokenSince.IsZero() {
+		ps.brokenSince = time.Now()
+	}
+	since := ps.brokenSince
+	ps.mu.Unlock()
+	conn.Close()
+	select {
+	case <-t.done:
+		return
+	default:
+	}
+	if t.host < peer {
+		go t.healDial(peer, since, cause)
+	} else {
+		go t.healWatchdog(peer, since, cause)
+	}
+}
+
+// healDial redials peer's resume listener with jittered exponential
+// backoff until the heal completes or the budget (counted from the
+// first break of the outage) runs out.
+func (t *TCPTransport) healDial(peer int, since time.Time, cause error) {
+	ps := t.sess[peer]
+	deadline := since.Add(t.opts.Session.budget())
+	lastErr := cause
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		if time.Until(deadline) <= 0 {
+			t.healFailed(peer, lastErr)
+			return
+		}
+		conn, peerLast, err := t.dialResume(peer, deadline)
+		if err == nil {
+			ps.mu.Lock()
+			gen := ps.gen
+			ps.mu.Unlock()
+			t.finishInstall(peer, gen, conn, peerLast)
+			return
+		}
+		lastErr = err
+		d := jitterBackoff(attempt, t.opts.Session.redialMin(), t.opts.Session.redialMax())
+		if remain := time.Until(deadline); d > remain {
+			d = remain
+		}
+		select {
+		case <-t.done:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// healWatchdog is the acceptor side's budget enforcement: it fires at
+// the end of the healing budget and, if the outage that started at
+// `since` is still unhealed, declares the peer lost. A heal followed by
+// a later break spawns its own watchdog; this one then sees a younger
+// brokenSince and stands down.
+func (t *TCPTransport) healWatchdog(peer int, since time.Time, cause error) {
+	ps := t.sess[peer]
+	budget := t.opts.Session.budget()
+	timer := time.NewTimer(time.Until(since.Add(budget)))
+	defer timer.Stop()
+	select {
+	case <-t.done:
+		return
+	case <-timer.C:
+	}
+	ps.mu.Lock()
+	expired := !ps.ready && !ps.brokenSince.IsZero() && time.Since(ps.brokenSince) >= budget
+	ps.mu.Unlock()
+	if expired {
+		t.healFailed(peer, cause)
+	}
+}
+
+// healFailed escalates an unhealable outage into the legacy failure
+// path: mark the peer lost and poison the transport with ErrPeerLost,
+// handing control to the checkpoint/membership machinery.
+func (t *TCPTransport) healFailed(peer int, cause error) {
+	t.markLost(peer)
+	t.fail(fmt.Errorf("%w: healing budget %v exhausted for host %d: %v",
+		ErrPeerLost, t.opts.Session.budget(), peer, cause))
+}
+
+// dialResume makes one reconnect attempt: dial, exchange resume hellos,
+// validate the peer's identity and session token. Returns the raw
+// connection and the peer's lastRecv (which acts as an ack).
+func (t *TCPTransport) dialResume(peer int, deadline time.Time) (net.Conn, uint64, error) {
+	remain := time.Until(deadline)
+	conn, err := net.DialTimeout("tcp", t.resumeAddrs[peer], remain)
+	if err != nil {
+		return nil, 0, err
+	}
+	ps := t.sess[peer]
+	ps.mu.Lock()
+	ourLast := ps.lastRecv
+	ps.mu.Unlock()
+	conn.SetDeadline(deadline)
+	if err := writeSessionHello(conn, t.host, t.sessToken, ourLast); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	rank, token, peerLast, err := readSessionHello(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	if rank != peer || token != t.peerTokens[peer] {
+		conn.Close()
+		return nil, 0, fmt.Errorf("gluon: resume dial to host %d answered by rank %d token %#x", peer, rank, token)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, peerLast, nil
+}
+
+// acceptLoop accepts resume redials on the persistent listener for the
+// lifetime of the transport (lower ranks redial us after a break).
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	if d, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Time{}) // clear any bootstrap deadline
+	}
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			case <-time.After(5 * time.Millisecond):
+				continue // transient accept error
+			}
+		}
+		go t.handleResume(conn)
+	}
+}
+
+// handleResume validates one inbound resume connection. Anything that
+// is not a correctly tokened resume hello from a live lower-rank peer
+// — including a restarted worker speaking the mesh bootstrap protocol
+// ("GW2VMESH"), which has no session to resume — is silently dropped;
+// the restarted worker's bootstrap then times out into the existing
+// elastic re-form path.
+func (t *TCPTransport) handleResume(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(t.opts.Session.budget()))
+	rank, token, peerLast, err := readSessionHello(conn)
+	if err != nil || rank < 0 || rank >= t.n || rank >= t.host ||
+		t.peerTokens == nil || t.peerTokens[rank] == 0 || token != t.peerTokens[rank] {
+		conn.Close()
+		return
+	}
+	ps := t.sess[rank]
+	ps.mu.Lock()
+	ourLast := ps.lastRecv
+	ps.mu.Unlock()
+	if err := writeSessionHello(conn, t.host, t.sessToken, ourLast); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	// Retire any connection we still believe is live — the peer knows
+	// better (it is the one redialing). The reader blocked on the old
+	// connection wakes with an error carrying the retired generation
+	// and stands down.
+	ps.mu.Lock()
+	old := ps.conn
+	if old != nil {
+		ps.conn = nil
+		ps.ready = false
+		ps.gen++
+		if ps.brokenSince.IsZero() {
+			ps.brokenSince = time.Now()
+		}
+	}
+	gen := ps.gen
+	ps.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	t.finishInstall(rank, gen, conn, peerLast)
+}
+
+// finishInstall installs a freshly handshaken connection for peer,
+// replays the unacknowledged stash tail, and opens the session for
+// writers. Between install and ready this goroutine is the
+// connection's only writer — regular writers block on !ready and the
+// heartbeat skips non-ready peers — so the replay needs no write lock.
+// A replay write failure reports a new break (the budget keeps running
+// from the original brokenSince).
+func (t *TCPTransport) finishInstall(peer, gen int, conn net.Conn, peerLast uint64) {
+	wrapped := t.wrapConn(peer, conn)
+	ps := t.sess[peer]
+	closed := false
+	select {
+	case <-t.done:
+		closed = true
+	default:
+	}
+	ps.mu.Lock()
+	if closed || ps.gen != gen || ps.conn != nil {
+		ps.mu.Unlock()
+		conn.Close()
+		return
+	}
+	ps.conn = wrapped
+	ps.heals++
+	ps.evictAckedLocked(peerLast)
+	replay := make([]sessionFrame, len(ps.stash))
+	copy(replay, ps.stash)
+	ps.replayed += len(replay)
+	ack := ps.lastRecv
+	ps.cond.Broadcast() // wake the reader onto the new connection
+	ps.mu.Unlock()
+
+	var buf []byte
+	for _, f := range replay {
+		buf = sessionFrameAppend(buf[:0], t.host, f.seq, ack, f.payload)
+		if t.opts.WriteTimeout > 0 {
+			wrapped.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		}
+		if _, err := wrapped.Write(buf); err != nil {
+			t.sessionBroken(peer, gen, fmt.Errorf("gluon: session replay to host %d: %w", peer, err))
+			return
+		}
+	}
+
+	ps.mu.Lock()
+	if ps.gen == gen && ps.conn == wrapped {
+		ps.ready = true
+		ps.brokenSince = time.Time{}
+		ps.stallSeq, ps.stallSince = 0, time.Time{}
+		ps.cond.Broadcast()
+	}
+	ps.mu.Unlock()
+}
+
+// writeSessionHello sends one resume hello.
+func writeSessionHello(conn net.Conn, rank int, token, lastRecv uint64) error {
+	buf := make([]byte, sessionHelloBytes)
+	off := copy(buf, sessionMagic)
+	binary.LittleEndian.PutUint32(buf[off:], meshVersion)
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(rank))
+	binary.LittleEndian.PutUint64(buf[off+8:], token)
+	binary.LittleEndian.PutUint64(buf[off+16:], lastRecv)
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("gluon: session hello write: %w", err)
+	}
+	return nil
+}
+
+// errNotSessionHello marks an inbound connection that is not speaking
+// the resume protocol (wrong magic or version).
+var errNotSessionHello = errors.New("gluon: not a session resume hello")
+
+// readSessionHello reads and validates one resume hello. Magic and
+// version are checked before the remainder so foreign protocols (the
+// mesh bootstrap hello, port scanners) fail fast.
+func readSessionHello(conn net.Conn) (rank int, token, lastRecv uint64, err error) {
+	buf := make([]byte, sessionHelloBytes)
+	off := len(sessionMagic)
+	if _, err = io.ReadFull(conn, buf[:off+4]); err != nil {
+		return 0, 0, 0, fmt.Errorf("gluon: session hello read: %w", err)
+	}
+	if string(buf[:off]) != sessionMagic {
+		return 0, 0, 0, errNotSessionHello
+	}
+	if v := binary.LittleEndian.Uint32(buf[off:]); v != meshVersion {
+		return 0, 0, 0, fmt.Errorf("%w: version %d, want %d", errNotSessionHello, v, meshVersion)
+	}
+	if _, err = io.ReadFull(conn, buf[off+4:]); err != nil {
+		return 0, 0, 0, fmt.Errorf("gluon: session hello read: %w", err)
+	}
+	rank = int(binary.LittleEndian.Uint32(buf[off+4:]))
+	token = binary.LittleEndian.Uint64(buf[off+8:])
+	lastRecv = binary.LittleEndian.Uint64(buf[off+16:])
+	return rank, token, lastRecv, nil
+}
+
+// SessionStats sums healing counters across all peers. Zero when the
+// session layer is disabled.
+func (t *TCPTransport) SessionStats() SessionStats {
+	var s SessionStats
+	for _, ps := range t.sess {
+		if ps == nil {
+			continue
+		}
+		ps.mu.Lock()
+		s.Heals += ps.heals
+		s.Replayed += ps.replayed
+		s.Dups += ps.dups
+		ps.mu.Unlock()
+	}
+	return s
+}

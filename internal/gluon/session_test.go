@@ -1,0 +1,442 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sessionTestOpts are aggressive-but-stable failure-detection settings
+// for loopback session tests: fast heartbeats drive the ack-stall
+// detector, the short read deadline turns silence into a heal quickly,
+// and the redial backoff stays tight so heals finish well inside the
+// budget.
+func sessionTestOpts() TCPOptions {
+	return TCPOptions{
+		HeartbeatInterval: 10 * time.Millisecond,
+		ReadTimeout:       250 * time.Millisecond,
+		WriteTimeout:      2 * time.Second,
+		Session: SessionOptions{
+			Heal:       true,
+			HealBudget: 5 * time.Second,
+			RedialMin:  2 * time.Millisecond,
+			RedialMax:  50 * time.Millisecond,
+		},
+	}
+}
+
+// blastAndVerify sends `msgs` numbered payloads from every other host
+// to host 0 and asserts per-sender FIFO delivery — the same contract
+// TestTCPPerPairOrdering pins for the legacy transport.
+func blastAndVerify(t *testing.T, trs []*TCPTransport, msgs int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for sender := 1; sender < len(trs); sender++ {
+		wg.Add(1)
+		go func(sender int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				payload := make([]byte, 4)
+				binary.LittleEndian.PutUint32(payload, uint32(i))
+				if err := trs[sender].Send(sender, 0, payload); err != nil {
+					t.Errorf("host %d send %d: %v", sender, i, err)
+					return
+				}
+			}
+		}(sender)
+	}
+	next := make(map[int]uint32)
+	for got := 0; got < (len(trs)-1)*msgs; got++ {
+		from, payload, err := trs[0].Recv(0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", got, err)
+		}
+		seq := binary.LittleEndian.Uint32(payload)
+		if seq != next[from] {
+			t.Fatalf("host %d message out of order: got seq %d, want %d", from, seq, next[from])
+		}
+		next[from]++
+	}
+	wg.Wait()
+}
+
+// TestSessionDeliversInOrder: with healing on but no faults, the
+// session layer must be invisible — same FIFO contract, no heals.
+func TestSessionDeliversInOrder(t *testing.T) {
+	trs, err := NewTCPClusterOpts(3, sessionTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(trs)
+	blastAndVerify(t, trs, 200)
+	for h, tr := range trs {
+		if s := tr.SessionStats(); s.Heals != 0 {
+			t.Errorf("host %d healed %d times on a fault-free run", h, s.Heals)
+		}
+	}
+}
+
+// breakConn forcibly closes the installed connection from host a to
+// host b, simulating a mid-run connection reset. If the pair is
+// already mid-heal (conn nil) it briefly waits for the next install so
+// the break lands on a live socket; if none appears the link is
+// already broken, which serves the same purpose. Safe to call from
+// non-test goroutines: it never fails the test.
+func breakConn(t *testing.T, tr *TCPTransport, peer int) {
+	t.Helper()
+	ps := tr.sess[peer]
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ps.mu.Lock()
+		conn := ps.conn
+		ps.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSessionHealsConnectionReset: a hard mid-run connection reset must
+// heal transparently — every in-flight and subsequent frame arrives, in
+// order, without ErrPeerLost.
+func TestSessionHealsConnectionReset(t *testing.T) {
+	trs, err := NewTCPClusterOpts(2, sessionTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(trs)
+
+	const msgs = 300
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			payload := make([]byte, 4)
+			binary.LittleEndian.PutUint32(payload, uint32(i))
+			if err := trs[1].Send(1, 0, payload); err != nil {
+				errCh <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+			if i == msgs/3 {
+				breakConn(t, trs[1], 0)
+			}
+			if i == 2*msgs/3 {
+				breakConn(t, trs[0], 1)
+			}
+		}
+		errCh <- nil
+	}()
+	for i := 0; i < msgs; i++ {
+		from, payload, err := trs[0].Recv(0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if from != 1 || binary.LittleEndian.Uint32(payload) != uint32(i) {
+			t.Fatalf("message %d: got (%d, %d)", i, from, binary.LittleEndian.Uint32(payload))
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	heals := trs[0].SessionStats().Heals + trs[1].SessionStats().Heals
+	if heals == 0 {
+		t.Fatal("two forced resets produced zero heals")
+	}
+}
+
+// TestSessionBudgetEscalatesToPeerLost: when the peer is gone for good,
+// healing must give up at the budget and degrade into the legacy
+// ErrPeerLost contract — poisoned transport, peer in LostPeers, no
+// hang.
+func TestSessionBudgetEscalatesToPeerLost(t *testing.T) {
+	opts := sessionTestOpts()
+	opts.Session.HealBudget = 400 * time.Millisecond
+	trs, err := NewTCPClusterOpts(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(trs)
+
+	if err := trs[0].Send(0, 1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if _, p, err := trs[1].Recv(1); err != nil || string(p) != "pre" {
+		t.Fatalf("Recv = (%q, %v)", p, err)
+	}
+
+	trs[1].Close() // the peer dies: listener and connections gone
+
+	done := make(chan error, 1)
+	go func() {
+		for {
+			_, _, err := trs[0].Recv(0)
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("Recv after dead peer = %v, want ErrPeerLost", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv hung past the healing budget")
+	}
+	if lost := trs[0].LostPeers(); len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("LostPeers = %v, want [1]", lost)
+	}
+}
+
+// sessionReadTransport builds an unwired session-mode transport whose
+// read path tests can feed by hand through an in-memory pipe.
+func sessionReadTransport(t *testing.T, n, peer int) (*TCPTransport, net.Conn, chan error) {
+	t.Helper()
+	tr := newTCPTransport(0, n)
+	tr.opts = TCPOptions{ReadTimeout: time.Second, Session: SessionOptions{Heal: true}}
+	tr.initSession()
+	ours, theirs := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- tr.sessionReadConn(ours, peer, tr.sess[peer])
+	}()
+	t.Cleanup(func() { tr.Close(); ours.Close(); theirs.Close() })
+	return tr, theirs, errCh
+}
+
+// TestSessionCorruptFrameTable: fuzz-style table of malformed session
+// frames — truncations, bad lengths, flipped bits, wrong senders,
+// sequence anomalies. Every one must surface as a connection-level
+// error (so the session heals and the peer replays) WITHOUT panicking
+// and WITHOUT poisoning the transport, which would wrongly condemn the
+// peer — or, on a shared inbox, every peer.
+func TestSessionCorruptFrameTable(t *testing.T) {
+	valid := func(seq uint64) []byte {
+		return sessionFrameAppend(nil, 1, seq, 0, barrierMessage(3))
+	}
+	cases := []struct {
+		name    string
+		bytes   []byte
+		wantErr string // "" = any error (io-level)
+	}{
+		{"truncated-header", valid(1)[:5], ""},
+		{"truncated-body", valid(1)[:15], ""},
+		{"length-below-session-header", func() []byte {
+			f := valid(1)[:8+4] // framing header + 4 stray bytes
+			binary.LittleEndian.PutUint32(f[4:], 4)
+			return f
+		}(), "below header size"},
+		{"oversized-length", func() []byte {
+			f := valid(1)
+			binary.LittleEndian.PutUint32(f[4:], 0xFFFFFFF0)
+			return f
+		}(), "exceeds limit"},
+		{"flipped-payload-bit", func() []byte {
+			f := valid(1)
+			f[len(f)-1] ^= 0x10
+			return f
+		}(), "fails CRC"},
+		{"flipped-seq-bit", func() []byte {
+			f := valid(1)
+			f[9] ^= 0x01
+			return f
+		}(), "fails CRC"},
+		{"sender-mismatch", func() []byte {
+			f := valid(1)
+			binary.LittleEndian.PutUint32(f, 2)
+			return f
+		}(), "claims sender"},
+		{"sequence-gap", valid(5), "session gap"},
+		{"unsequenced-data", sessionFrameAppend(nil, 1, 0, 0, barrierMessage(3)), "non-heartbeat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, raw, errCh := sessionReadTransport(t, 3, 1)
+			go func() {
+				raw.Write(tc.bytes)
+				raw.Close()
+			}()
+			select {
+			case err := <-errCh:
+				if err == nil {
+					t.Fatal("malformed frame accepted")
+				}
+				if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("reader hung on malformed frame")
+			}
+			// The error heals the one connection; it must NOT have
+			// poisoned the transport (which would condemn host 2 as
+			// collateral damage too).
+			tr.failMu.Lock()
+			failure := tr.failure
+			tr.failMu.Unlock()
+			if failure != nil {
+				t.Fatalf("malformed frame poisoned the transport: %v", failure)
+			}
+			if len(tr.inbox) != 0 {
+				t.Fatalf("malformed frame leaked %d messages into the inbox", len(tr.inbox))
+			}
+		})
+	}
+}
+
+// TestSessionDupDiscard: duplicated frames (replay overlap, chaotic
+// networks) are dropped by sequence number, delivered exactly once.
+func TestSessionDupDiscard(t *testing.T) {
+	tr, raw, errCh := sessionReadTransport(t, 2, 1)
+	go func() {
+		raw.Write(sessionFrameAppend(nil, 1, 1, 0, barrierMessage(1)))
+		raw.Write(sessionFrameAppend(nil, 1, 1, 0, barrierMessage(1))) // dup
+		raw.Write(sessionFrameAppend(nil, 1, 2, 0, barrierMessage(2)))
+		raw.Close()
+	}()
+	for want := uint32(1); want <= 2; want++ {
+		from, payload, err := tr.Recv(0)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if _, tag := InspectFrame(payload); from != 1 || tag != want {
+			t.Fatalf("got (%d, tag %d), want (1, %d)", from, tag, want)
+		}
+	}
+	<-errCh // pipe closed
+	if dups := tr.SessionStats().Dups; dups != 1 {
+		t.Fatalf("Dups = %d, want 1", dups)
+	}
+}
+
+// TestSessionHelloRejectsForeignProtocol: a mesh bootstrap hello (a
+// restarted worker re-forming the cluster) or garbage must be rejected
+// by the resume handshake with the named error, not resumed.
+func TestSessionHelloRejectsForeignProtocol(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		cfg := MeshConfig{Rank: 1, Peers: []string{"x", "y"}, Checksum: 1, Wire: CodecPacked}
+		writeHello(a, cfg, 0, time.Now().Add(time.Second))
+	}()
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, _, err := readSessionHello(b); !errors.Is(err, errNotSessionHello) {
+		t.Fatalf("mesh hello accepted as session resume: %v", err)
+	}
+}
+
+// TestDialMeshSessionFlagMismatch: one rank healing and one not would
+// frame traffic incompatibly; the v6 hello must reject the mix with a
+// named error, before the (heal-agnostic) checksum check can mask it.
+func TestDialMeshSessionFlagMismatch(t *testing.T) {
+	addrs := meshAddrs(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	trs := make([]*TCPTransport, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := MeshConfig{Rank: r, Peers: addrs, Checksum: 7, Timeout: 5 * time.Second}
+			cfg.TCP.Session.Heal = r == 0
+			trs[r], errs[r] = DialMesh(cfg)
+		}(r)
+	}
+	wg.Wait()
+	closeAll(trs)
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("mixed session healing accepted by both ranks")
+	}
+	mentioned := false
+	for _, err := range errs {
+		if err != nil && strings.Contains(err.Error(), "session healing") {
+			mentioned = true
+		}
+	}
+	if !mentioned {
+		t.Errorf("neither error mentions session healing: %v / %v", errs[0], errs[1])
+	}
+}
+
+// TestDialMeshSessionHealsReset: the multi-process bootstrap path wires
+// the same healing machinery — persistent listener, resume tokens —
+// so a reset between DialMesh-built transports heals too.
+func TestDialMeshSessionHealsReset(t *testing.T) {
+	const n = 2
+	addrs := meshAddrs(t, n)
+	trs := make([]*TCPTransport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = DialMesh(MeshConfig{
+				Rank: r, Peers: addrs, Checksum: 99, Timeout: 10 * time.Second,
+				TCP: sessionTestOpts(),
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer closeAll(trs)
+
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		payload := make([]byte, 4)
+		binary.LittleEndian.PutUint32(payload, uint32(i))
+		if err := trs[1].Send(1, 0, payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if i == msgs/2 {
+			breakConn(t, trs[0], 1) // rank 0 redials rank 1's kept listener
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		_, payload, err := trs[0].Recv(0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got := binary.LittleEndian.Uint32(payload); got != uint32(i) {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+	}
+	if heals := trs[0].SessionStats().Heals + trs[1].SessionStats().Heals; heals == 0 {
+		t.Fatal("forced reset on a mesh session produced zero heals")
+	}
+}
+
+// TestJitterBackoffBounds: the backoff must stay within [lo/2, hi],
+// grow with the attempt number, and never overflow into a negative or
+// zero sleep on absurd attempts.
+func TestJitterBackoffBounds(t *testing.T) {
+	lo, hi := 10*time.Millisecond, 500*time.Millisecond
+	for attempt := 0; attempt <= 64; attempt++ {
+		d := jitterBackoff(attempt, lo, hi)
+		if d < lo/2 || d > hi {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo/2, hi)
+		}
+	}
+	// High attempts saturate at the cap (within jitter).
+	if d := jitterBackoff(40, lo, hi); d < hi/2 {
+		t.Fatalf("saturated backoff %v below half the cap %v", d, hi)
+	}
+	// Degenerate inputs still return something positive.
+	if d := jitterBackoff(0, 0, 0); d <= 0 {
+		t.Fatalf("zero-config backoff = %v", d)
+	}
+}

@@ -22,7 +22,9 @@ import (
 //
 // Hello frame, all little-endian: magic "GW2VMESH" (8 bytes),
 // version (uint32), sender rank (uint32), cluster size (uint32),
-// checksum (uint64), wire codec (1 byte). See PROTOCOL.md §6.
+// checksum (uint64), wire codec (1 byte), flags (1 byte, v6: bit 0 =
+// session healing enabled), session token (uint64, v6; zero when
+// sessions are off). See PROTOCOL.md §6.
 
 const (
 	meshMagic = "GW2VMESH"
@@ -36,13 +38,23 @@ const (
 	// membership and transfer frame kinds for elastic membership
 	// changes (PROTOCOL.md §10). Version 5 added the touched frame
 	// kind for compute/sync overlap announcements (PROTOCOL.md §11).
+	// Version 6 added the session layer (sequenced, CRC-protected,
+	// acknowledged frames with transparent reconnect; PROTOCOL.md §12)
+	// and extended this hello with a flags byte and a session token.
 	// See PROTOCOL.md §7 for the bump policy.
-	meshVersion = 5
+	meshVersion = 6
 	// meshHelloBytes is the encoded hello size.
-	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8 + 1
-	// meshDialRetry is the pause between connection attempts while a
-	// peer's listener is not up yet.
-	meshDialRetry = 100 * time.Millisecond
+	meshHelloBytes = len(meshMagic) + 4 + 4 + 4 + 8 + 1 + 1 + 8
+	// meshFlagSession marks a rank running the self-healing session
+	// layer; mixed meshes are rejected at the handshake (a session
+	// frame would be gibberish to a legacy peer and vice versa).
+	meshFlagSession = byte(1)
+	// meshDialRetryMin/Max bound the jittered exponential backoff
+	// between connection attempts while a peer's listener is not up
+	// yet. Jitter keeps a mass restart of N workers from hammering the
+	// slowest listener in lockstep.
+	meshDialRetryMin = 50 * time.Millisecond
+	meshDialRetryMax = time.Second
 )
 
 // MeshConfig describes one rank's view of a multi-process cluster.
@@ -98,13 +110,24 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 
 	t := newTCPTransport(cfg.Rank, n)
 	t.opts = cfg.TCP
+	session := cfg.TCP.Session.Heal
+	if session {
+		// The token identifies this transport incarnation in session
+		// resume hellos; peers learn it from the mesh hello below.
+		t.sessToken = newSessionToken()
+		t.resumeAddrs = append([]string(nil), cfg.Peers...)
+		t.peerTokens = make([]uint64, n)
+	}
 	if n == 1 {
 		return t, nil
 	}
 
 	// Ranks below us dial us; bind before dialing upward so no ordering
-	// of process startup can deadlock the bootstrap.
+	// of process startup can deadlock the bootstrap. In session mode
+	// the listener outlives the bootstrap: broken lower-rank peers
+	// redial it to resume their sessions (session.go).
 	var ln net.Listener
+	keepLn := false
 	if cfg.Rank > 0 {
 		addr := cfg.Listen
 		if addr == "" {
@@ -115,13 +138,18 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("gluon: mesh rank %d listen %s: %w", cfg.Rank, addr, err)
 		}
-		defer ln.Close()
+		defer func() {
+			if !keepLn {
+				ln.Close()
+			}
+		}()
 	}
 
 	type wired struct {
-		peer int
-		conn net.Conn
-		err  error
+		peer  int
+		conn  net.Conn
+		token uint64
+		err   error
 	}
 	results := make(chan wired, n)
 	var producers sync.WaitGroup
@@ -144,7 +172,7 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 					results <- wired{err: fmt.Errorf("gluon: mesh rank %d accept: %w", cfg.Rank, err)}
 					return
 				}
-				peer, err := acceptHello(conn, cfg, deadline)
+				peer, token, err := acceptHello(conn, cfg, t.sessToken, deadline)
 				if err != nil {
 					conn.Close()
 					results <- wired{err: err}
@@ -156,7 +184,7 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 					return
 				}
 				seen[peer] = true
-				results <- wired{peer: peer, conn: conn}
+				results <- wired{peer: peer, conn: conn, token: token}
 			}
 		}()
 	}
@@ -166,8 +194,8 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 		producers.Add(1)
 		go func(peer int) {
 			defer producers.Done()
-			conn, err := dialHello(cfg, peer, deadline)
-			results <- wired{peer: peer, conn: conn, err: err}
+			conn, token, err := dialHello(cfg, peer, t.sessToken, deadline)
+			results <- wired{peer: peer, conn: conn, token: token, err: err}
 		}(peer)
 	}
 
@@ -190,6 +218,13 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 			return nil, w.err
 		}
 		t.conns[w.peer] = w.conn
+		if session {
+			t.peerTokens[w.peer] = w.token
+		}
+	}
+	if session && cfg.Rank > 0 {
+		t.ln = ln
+		keepLn = true
 	}
 	t.startReaders()
 	return t, nil
@@ -202,11 +237,12 @@ func DialMesh(cfg MeshConfig) (*TCPTransport, error) {
 // misconfiguration and must stay fatal.
 var ErrMeshTimeout = fmt.Errorf("gluon: mesh bootstrap timed out")
 
-// dialHello connects to peer (a higher rank), retrying until deadline,
-// and runs the hello exchange from the dialer side.
-func dialHello(cfg MeshConfig, peer int, deadline time.Time) (net.Conn, error) {
+// dialHello connects to peer (a higher rank), retrying with jittered
+// exponential backoff until deadline, and runs the hello exchange from
+// the dialer side.
+func dialHello(cfg MeshConfig, peer int, sessToken uint64, deadline time.Time) (net.Conn, uint64, error) {
 	var lastErr error
-	for {
+	for attempt := 0; ; attempt++ {
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			if lastErr == nil {
@@ -214,48 +250,48 @@ func dialHello(cfg MeshConfig, peer int, deadline time.Time) (net.Conn, error) {
 			} else {
 				lastErr = fmt.Errorf("%w: %v", ErrMeshTimeout, lastErr)
 			}
-			return nil, fmt.Errorf("gluon: mesh rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Peers[peer], lastErr)
+			return nil, 0, fmt.Errorf("gluon: mesh rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Peers[peer], lastErr)
 		}
 		conn, err := net.DialTimeout("tcp", cfg.Peers[peer], remain)
 		if err != nil {
 			lastErr = err
-			time.Sleep(meshDialRetry)
+			time.Sleep(jitterBackoff(attempt, meshDialRetryMin, meshDialRetryMax))
 			continue
 		}
-		if err := writeHello(conn, cfg, deadline); err != nil {
+		if err := writeHello(conn, cfg, sessToken, deadline); err != nil {
 			conn.Close()
-			return nil, err
+			return nil, 0, err
 		}
-		got, err := readHello(conn, cfg, deadline)
+		got, token, err := readHello(conn, cfg, deadline)
 		if err != nil {
 			conn.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		if got != peer {
 			conn.Close()
-			return nil, fmt.Errorf("gluon: mesh rank %d dialed %s expecting rank %d, got rank %d", cfg.Rank, cfg.Peers[peer], peer, got)
+			return nil, 0, fmt.Errorf("gluon: mesh rank %d dialed %s expecting rank %d, got rank %d", cfg.Rank, cfg.Peers[peer], peer, got)
 		}
 		conn.SetDeadline(time.Time{})
-		return conn, nil
+		return conn, token, nil
 	}
 }
 
 // acceptHello runs the hello exchange from the acceptor side and returns
-// the dialer's rank.
-func acceptHello(conn net.Conn, cfg MeshConfig, deadline time.Time) (int, error) {
-	peer, err := readHello(conn, cfg, deadline)
+// the dialer's rank and session token.
+func acceptHello(conn net.Conn, cfg MeshConfig, sessToken uint64, deadline time.Time) (int, uint64, error) {
+	peer, token, err := readHello(conn, cfg, deadline)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if err := writeHello(conn, cfg, deadline); err != nil {
-		return 0, err
+	if err := writeHello(conn, cfg, sessToken, deadline); err != nil {
+		return 0, 0, err
 	}
 	conn.SetDeadline(time.Time{})
-	return peer, nil
+	return peer, token, nil
 }
 
 // writeHello sends this rank's hello frame.
-func writeHello(conn net.Conn, cfg MeshConfig, deadline time.Time) error {
+func writeHello(conn net.Conn, cfg MeshConfig, sessToken uint64, deadline time.Time) error {
 	conn.SetDeadline(deadline)
 	buf := make([]byte, meshHelloBytes)
 	off := copy(buf, meshMagic)
@@ -264,6 +300,10 @@ func writeHello(conn net.Conn, cfg MeshConfig, deadline time.Time) error {
 	binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(cfg.Peers)))
 	binary.LittleEndian.PutUint64(buf[off+12:], cfg.Checksum)
 	buf[off+20] = byte(cfg.Wire)
+	if cfg.TCP.Session.Heal {
+		buf[off+21] = meshFlagSession
+	}
+	binary.LittleEndian.PutUint64(buf[off+22:], sessToken)
 	if _, err := conn.Write(buf); err != nil {
 		return fmt.Errorf("gluon: mesh rank %d hello write: %w", cfg.Rank, err)
 	}
@@ -271,45 +311,55 @@ func writeHello(conn net.Conn, cfg MeshConfig, deadline time.Time) error {
 }
 
 // readHello reads and validates a peer's hello frame, returning the
-// peer's rank. The magic and version are read (and checked) before the
-// version-dependent remainder, so a peer speaking a different protocol
-// version — whose hello may be a different length — fails fast instead
-// of stalling both sides until the bootstrap deadline.
-func readHello(conn net.Conn, cfg MeshConfig, deadline time.Time) (int, error) {
+// peer's rank and session token. The magic and version are read (and
+// checked) before the version-dependent remainder, so a peer speaking a
+// different protocol version — whose hello may be a different length —
+// fails fast instead of stalling both sides until the bootstrap
+// deadline.
+func readHello(conn net.Conn, cfg MeshConfig, deadline time.Time) (int, uint64, error) {
 	conn.SetDeadline(deadline)
 	buf := make([]byte, meshHelloBytes)
 	off := len(meshMagic)
 	if _, err := io.ReadFull(conn, buf[:off+4]); err != nil {
-		return 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
 	}
 	if string(buf[:off]) != meshMagic {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer is not a gw2v worker (bad magic)", cfg.Rank)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer is not a gw2v worker (bad magic)", cfg.Rank)
 	}
 	version := binary.LittleEndian.Uint32(buf[off:])
 	if version != meshVersion {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer protocol version %d, want %d — all workers must run the same build (PROTOCOL.md §7)", cfg.Rank, version, meshVersion)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer protocol version %d, want %d — all workers must run the same build (PROTOCOL.md §7)", cfg.Rank, version, meshVersion)
 	}
 	if _, err := io.ReadFull(conn, buf[off+4:]); err != nil {
-		return 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d hello read: %w", cfg.Rank, err)
 	}
 	rank := binary.LittleEndian.Uint32(buf[off+4:])
 	size := binary.LittleEndian.Uint32(buf[off+8:])
 	sum := binary.LittleEndian.Uint64(buf[off+12:])
 	wire := Codec(buf[off+20])
+	flags := buf[off+21]
+	token := binary.LittleEndian.Uint64(buf[off+22:])
 	if int(size) != len(cfg.Peers) {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer cluster size %d, ours %d", cfg.Rank, size, len(cfg.Peers))
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer cluster size %d, ours %d", cfg.Rank, size, len(cfg.Peers))
 	}
 	// The codec is checked before the checksum: core.Config.Checksum
 	// folds the codec too, so a -wire mismatch would otherwise always
 	// surface as the generic checksum error instead of this named one.
 	if wire != cfg.Wire {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d wire codec %v, ours %v — all workers must pass the same -wire", cfg.Rank, rank, wire, cfg.Wire)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d wire codec %v, ours %v — all workers must pass the same -wire", cfg.Rank, rank, wire, cfg.Wire)
+	}
+	// The session flag is checked before the checksum for the same
+	// reason as the codec: healing knobs are deliberately excluded from
+	// the checksum (they do not change the trained bits), so a -heal
+	// mismatch needs its own named rejection.
+	if peerSess := flags&meshFlagSession != 0; peerSess != cfg.TCP.Session.Heal {
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d session healing %v, ours %v — all workers must pass the same -heal", cfg.Rank, rank, peerSess, cfg.TCP.Session.Heal)
 	}
 	if sum != cfg.Checksum {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d config checksum %#x, ours %#x — workers must share identical corpus and flags", cfg.Rank, rank, sum, cfg.Checksum)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer rank %d config checksum %#x, ours %#x — workers must share identical corpus and flags", cfg.Rank, rank, sum, cfg.Checksum)
 	}
 	if int(rank) >= len(cfg.Peers) {
-		return 0, fmt.Errorf("gluon: mesh rank %d: peer claims rank %d of %d", cfg.Rank, rank, size)
+		return 0, 0, fmt.Errorf("gluon: mesh rank %d: peer claims rank %d of %d", cfg.Rank, rank, size)
 	}
-	return int(rank), nil
+	return int(rank), token, nil
 }

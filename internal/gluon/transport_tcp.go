@@ -46,6 +46,17 @@ type TCPOptions struct {
 	// connection may linger before the peer is declared dead
 	// (default 5s; see peerLossGrace).
 	PeerLossGrace time.Duration
+	// Session enables the self-healing session layer (protocol v6):
+	// sequenced, CRC-protected, acknowledged frames with transparent
+	// reconnect and retransmission, escalating to ErrPeerLost only when
+	// an outage outlasts the healing budget. All ranks must agree — the
+	// mesh hello carries the flag. See session.go and PROTOCOL.md §12.
+	Session SessionOptions
+	// Chaos, when non-nil, wraps every post-handshake connection in a
+	// deterministic fault injector (drops, duplicates, reorders,
+	// corruption, delays, resets, blackholes) driven by the plan's
+	// seed. Requires Session.Heal; see chaos.go.
+	Chaos *ChaosPlan
 }
 
 // TCPTransport runs the synchronisation protocol over real TCP sockets,
@@ -82,6 +93,17 @@ type TCPTransport struct {
 	failMu  sync.Mutex
 	failure error // first framing/protocol error, reported by Recv/Send
 	lost    map[int]bool
+
+	// Session-layer state (nil/zero unless opts.Session.Heal; see
+	// session.go). The listener stays open for the transport's
+	// lifetime so broken peers can redial; resumeAddrs and peerTokens
+	// authenticate the resume handshake.
+	sess        []*peerSession
+	sessToken   uint64
+	peerTokens  []uint64
+	resumeAddrs []string
+	ln          net.Listener
+	chaos       []*chaosState
 }
 
 // maxFrameBytes bounds a single frame to catch corrupted length
@@ -149,6 +171,38 @@ func NewTCPClusterOpts(n int, opts TCPOptions) ([]*TCPTransport, error) {
 			trs[b].conns[a] = acc.conn
 		}
 	}
+	// In session mode every rank above 0 keeps a persistent listener so
+	// lower ranks can redial after a break (mirroring the mesh dial
+	// convention: lower dials higher), and every transport learns all
+	// resume addresses and session tokens up front.
+	if opts.Session.Heal && n > 1 {
+		addrs := make([]string, n)
+		lns := make([]net.Listener, n)
+		for h := 1; h < n; h++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				for _, l := range lns {
+					if l != nil {
+						l.Close()
+					}
+				}
+				closeAll(trs)
+				return nil, fmt.Errorf("gluon: session listen: %w", err)
+			}
+			lns[h] = ln
+			addrs[h] = ln.Addr().String()
+		}
+		tokens := make([]uint64, n)
+		for h := 0; h < n; h++ {
+			tokens[h] = newSessionToken()
+		}
+		for h := 0; h < n; h++ {
+			trs[h].ln = lns[h]
+			trs[h].sessToken = tokens[h]
+			trs[h].resumeAddrs = append([]string(nil), addrs...)
+			trs[h].peerTokens = append([]uint64(nil), tokens...)
+		}
+	}
 	for _, t := range trs {
 		t.startReaders()
 	}
@@ -168,15 +222,32 @@ func newTCPTransport(host, n int) *TCPTransport {
 	}
 }
 
-// startReaders launches one reader goroutine per wired connection,
-// plus the heartbeat emitter when one is configured.
+// startReaders launches one reader goroutine per wired connection (per
+// peer in session mode), plus the heartbeat emitter when one is
+// configured and the resume acceptor when a persistent listener is
+// held.
 func (t *TCPTransport) startReaders() {
-	for g, conn := range t.conns {
-		if g == t.host || conn == nil {
-			continue
+	if t.opts.Session.Heal {
+		t.initSession()
+		for g := range t.sess {
+			if g == t.host {
+				continue
+			}
+			t.wg.Add(1)
+			go t.sessionReadLoop(g)
 		}
-		t.wg.Add(1)
-		go t.readLoop(conn, g)
+		if t.ln != nil {
+			t.wg.Add(1)
+			go t.acceptLoop()
+		}
+	} else {
+		for g, conn := range t.conns {
+			if g == t.host || conn == nil {
+				continue
+			}
+			t.wg.Add(1)
+			go t.readLoop(conn, g)
+		}
 	}
 	if t.opts.HeartbeatInterval > 0 {
 		t.wg.Add(1)
@@ -198,6 +269,10 @@ func (t *TCPTransport) heartbeatLoop() {
 		case <-t.done:
 			return
 		case <-ticker.C:
+			if t.sess != nil {
+				t.sessionHeartbeatTick(hb)
+				continue
+			}
 			for g, conn := range t.conns {
 				if g == t.host || conn == nil {
 					continue
@@ -364,6 +439,9 @@ func (t *TCPTransport) Send(from, to int, payload []byte) error {
 		return t.closedErr()
 	default:
 	}
+	if t.sess != nil {
+		return t.sessionSend(to, payload)
+	}
 	return t.writeFrame(to, payload)
 }
 
@@ -443,6 +521,20 @@ func (t *TCPTransport) Close() error {
 			if c != nil {
 				c.Close()
 			}
+		}
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, ps := range t.sess {
+			if ps == nil {
+				continue
+			}
+			ps.mu.Lock()
+			if ps.conn != nil {
+				ps.conn.Close()
+			}
+			ps.cond.Broadcast() // wake writers/readers blocked on heals
+			ps.mu.Unlock()
 		}
 	})
 	return nil
